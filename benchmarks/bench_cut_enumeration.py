@@ -1,0 +1,66 @@
+"""Ablation A3: cut-enumeration front end — throughput and yield.
+
+Times k-feasible cut enumeration and cut-function extraction on the
+EPFL-like suite, and records the extraction report (functions per size,
+balanced/degenerate fractions) that feeds Tables II/III.
+
+Writes ``results/cut_enumeration.md``.
+"""
+
+import pytest
+
+from repro.aig.cuts import cut_statistics, enumerate_cuts
+from repro.analysis.tables import write_markdown_table
+from repro.workloads.epfl import epfl_like_suite, suite_summary
+from repro.workloads.extraction import extract_cut_functions, extraction_report
+
+
+@pytest.fixture(scope="module")
+def suite(scale):
+    return epfl_like_suite(scale=scale.suite_scale)
+
+
+@pytest.mark.parametrize("circuit", ["adder", "multiplier", "ctrl", "voter"])
+def test_enumeration_throughput(benchmark, suite, circuit, scale):
+    aig = suite[circuit]
+    cuts = benchmark.pedantic(
+        enumerate_cuts,
+        args=(aig,),
+        kwargs={"k": max(scale.sizes), "max_cuts": scale.max_cuts},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(cuts) >= aig.num_inputs
+
+
+def test_extraction_throughput(benchmark, suite, scale):
+    aig = suite["adder"]
+    functions = benchmark.pedantic(
+        extract_cut_functions,
+        args=([aig],),
+        kwargs={"sizes": scale.sizes, "max_cuts": scale.max_cuts},
+        rounds=1,
+        iterations=1,
+    )
+    assert sum(len(v) for v in functions.values()) > 0
+
+
+def test_cut_reports(benchmark, suite, workload, results_dir, scale):
+    rows = extraction_report(workload)
+    write_markdown_table(
+        rows,
+        results_dir / "cut_enumeration.md",
+        title=f"Ablation A3 — extracted cut functions (scale={scale.name})",
+    )
+    write_markdown_table(
+        suite_summary(suite),
+        results_dir / "suite.md",
+        title=f"EPFL-like suite (scale={scale.name})",
+    )
+    stats = benchmark.pedantic(
+        cut_statistics,
+        args=(enumerate_cuts(suite["max"], k=max(scale.sizes)),),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats

@@ -1,0 +1,91 @@
+"""Bench: Fig. 5 — runtime linearity and stability.
+
+The paper's claim: on consecutive-encoding random sets the signature
+classifier's cumulative runtime grows linearly with the number of
+functions and barely varies across chunks, while the canonical-form
+method (``testnpn -11`` / zhou20 here) fluctuates widely.
+
+Writes ``results/fig5.md`` with the (x, y) series for both methods at 5
+and 7 bits, plus the relative-spread stability scores.
+"""
+
+import pytest
+
+from repro.analysis.tables import write_markdown_table
+from repro.analysis.timing import time_classifier
+from repro.baselines import get_classifier
+from repro.experiments.fig5 import fig5_series
+from repro.workloads.random_functions import consecutive_tables
+
+WIDTHS = (5, 7)
+METHODS = ("ours", "zhou20")
+
+
+@pytest.fixture(scope="module")
+def fig5_rows(scale):
+    return [fig5_series(n, scale.fig5_counts, METHODS) for n in WIDTHS]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("method", METHODS)
+def test_throughput_on_consecutive_sets(benchmark, width, method, scale):
+    tables = consecutive_tables(width, scale.fig5_counts[0], seed=width)
+    classifier = get_classifier(method)
+    count = benchmark.pedantic(
+        lambda: len({classifier.key(tt) for tt in tables}), rounds=1, iterations=1
+    )
+    assert count >= 1
+
+
+def test_fig5_regeneration(benchmark, fig5_rows, results_dir, scale):
+    rows = []
+    for row in fig5_rows:
+        for index, point in enumerate(row["points"]):
+            rows.append(
+                {
+                    "n": row["n"],
+                    "functions": point,
+                    **{m: row[m][index] for m in METHODS},
+                }
+            )
+    write_markdown_table(
+        rows,
+        results_dir / "fig5.md",
+        title=f"Fig. 5 — cumulative seconds vs #functions (scale={scale.name})",
+    )
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    assert rows
+
+
+def test_fig5_ours_linear(fig5_rows):
+    """Cumulative time of ours grows ~linearly: the per-function cost of
+    the last segment stays within 4x of the first segment's."""
+    for row in fig5_rows:
+        points = row["points"]
+        times = row["ours"]
+        if times[0] <= 0 or len(points) < 2:
+            continue
+        first_rate = times[0] / points[0]
+        last_rate = (times[-1] - times[-2]) / (points[-1] - points[-2])
+        assert last_rate <= 4 * first_rate + 1e-9
+
+
+def test_fig5_stability_scores(benchmark, scale, results_dir):
+    """Ours is steadier across independently drawn consecutive sets than
+    the canonical-form baseline (the paper's actual Fig. 5 comparison:
+    runtime as a function of *which* set was generated)."""
+    from repro.experiments.fig5 import block_stability
+
+    rows = []
+    for width in WIDTHS:
+        scores = block_stability(
+            width, scale.fig5_counts[0], METHODS, base_seed=31 * width
+        )
+        rows.append({"n": width, **{m: round(s, 4) for m, s in scores.items()}})
+    write_markdown_table(
+        rows,
+        results_dir / "fig5_stability.md",
+        title="Fig. 5 stability — relative spread of per-chunk runtimes",
+    )
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    assert rows

@@ -1,0 +1,72 @@
+"""Bench: signature-vector computation kernels + Table I regeneration.
+
+Micro-benchmarks for every vector of Definition 6-10 (the per-function
+work inside Algorithm 1's loop), plus the end-to-end MSV, at a
+representative bit width — and a run that regenerates Table I and writes
+it to ``results/table1.md``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import write_markdown_table
+from repro.core import signatures as sig
+from repro.core.msv import compute_msv
+from repro.core.truth_table import TruthTable
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module", params=[4, 6, 8, 10])
+def function_under_test(request):
+    rng = random.Random(request.param)
+    return TruthTable.random(request.param, rng)
+
+
+def bench_vector(benchmark, compute, tt):
+    result = benchmark(compute, tt)
+    assert result is not None
+
+
+def test_ocv1(benchmark, function_under_test):
+    bench_vector(benchmark, sig.ocv1, function_under_test)
+
+
+def test_ocv2(benchmark, function_under_test):
+    bench_vector(benchmark, sig.ocv2, function_under_test)
+
+
+def test_oiv(benchmark, function_under_test):
+    bench_vector(benchmark, sig.oiv, function_under_test)
+
+
+def test_osv_histogram(benchmark, function_under_test):
+    bench_vector(benchmark, sig.osv_histogram, function_under_test)
+
+
+def test_osdv_split(benchmark, function_under_test):
+    bench_vector(benchmark, sig.osdv1, function_under_test)
+
+
+def test_full_msv(benchmark, function_under_test):
+    result = benchmark(compute_msv, function_under_test)
+    assert result.key
+
+
+def test_regenerate_table1(benchmark, results_dir):
+    rows = benchmark(run_table1)
+    assert all(row["matches_paper"] for row in rows)
+    printable = [
+        {
+            "signature": row["signature"],
+            "f1": str(row["f1"]),
+            "f3": str(row["f3"]),
+            "matches_paper": row["matches_paper"],
+        }
+        for row in rows
+    ]
+    write_markdown_table(
+        printable,
+        results_dir / "table1.md",
+        title="Table I — signature vectors of f1 and f3 (all match the paper)",
+    )

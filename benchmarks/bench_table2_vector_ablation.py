@@ -1,0 +1,78 @@
+"""Bench: Table II — class counts per signature-vector combination.
+
+Regenerates every row of the paper's Table II on the EPFL-like workload,
+asserts the two structural properties (soundness vs exact; refinement as
+parts are added), and writes ``results/table2.md``.
+
+Paper reference (EPFL workload, paper scale):
+
+    n   exact  OIV    OCV1   OSV    OIV+OSV  ...  All
+    4   49     28     41     48     48            49
+    6   1673   1175   1380   1619   1654          1673
+    8   48895  44497  44183  48584  48876         48887
+
+The reproduced *counts* differ (different circuit instances, see
+DESIGN.md); the ordering between columns is the reproduced claim.
+"""
+
+import pytest
+
+from repro.analysis.stats import refinement_holds
+from repro.analysis.tables import write_markdown_table
+from repro.experiments.table2 import COLUMNS, table2_row
+
+
+@pytest.fixture(scope="module")
+def table2_rows(workload, scale):
+    return [table2_row(n, workload[n]) for n in sorted(workload)]
+
+
+def test_table2_full(benchmark, workload, scale, results_dir, table2_rows):
+    """Time one full Table II regeneration (smallest n as the benchmark
+    body — the full table is produced once by the fixture)."""
+    smallest = min(workload)
+    row = benchmark.pedantic(
+        table2_row, args=(smallest, workload[smallest]), rounds=1, iterations=1
+    )
+    assert row["All"] <= row["exact"]
+    write_markdown_table(
+        table2_rows,
+        results_dir / "table2.md",
+        title=f"Table II — signature-vector ablation (scale={scale.name})",
+    )
+
+
+def test_table2_soundness(table2_rows):
+    """No column ever exceeds the exact class count."""
+    for row in table2_rows:
+        for label in COLUMNS:
+            assert row[label] <= row["exact"], (row["n"], label)
+
+
+def test_table2_refinement(table2_rows):
+    """Adding vectors only splits classes (the paper's column ordering)."""
+    for row in table2_rows:
+        assert refinement_holds([row["OIV"], row["OIV+OSV"], row["All"]])
+        assert refinement_holds(
+            [row["OCV1"], row["OCV1+OSV"], row["OCV1+OCV2+OSV"], row["All"]]
+        )
+        assert refinement_holds([row["OSV"], row["OIV+OSV"], row["OIV+OSV+OSDV"]])
+
+
+def test_table2_point_beats_face(table2_rows):
+    """Section IV-A: sensitivity discriminates better than 1-ary cofactors,
+    and the OIV+OSV combination beats cofactors alone."""
+    better = 0
+    total = 0
+    for row in table2_rows:
+        total += 1
+        if row["OSV"] >= row["OCV1"] and row["OIV+OSV"] >= row["OCV1"]:
+            better += 1
+    assert better >= total - 1  # allow one workload-specific inversion
+
+
+def test_table2_all_near_exact(table2_rows):
+    """The full MSV stays within 1% of exact on every row (paper: exact
+    up to n=7, 48887/48895 at n=8)."""
+    for row in table2_rows:
+        assert row["All"] >= 0.99 * row["exact"], row["n"]

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""End-to-end synthesis scenario: classify the cut functions of circuits.
+
+This is the paper's Section V pipeline in miniature: build circuits,
+enumerate k-feasible cuts, extract deduplicated truth tables, and compare
+the face/point classifier against the exact engine and the heuristic
+baselines — the very workflow a technology mapper runs to group logic
+cones before matching them to library cells.
+
+Run:  python examples/classify_circuit_cuts.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.timing import time_classifier
+from repro.baselines import get_classifier
+from repro.workloads.epfl import epfl_like_suite, suite_summary
+from repro.workloads.extraction import extract_cut_functions, extraction_report
+
+
+def main() -> None:
+    # --- 1. The benchmark circuits --------------------------------------
+    suite = epfl_like_suite(scale=1)
+    print(format_table(suite_summary(suite), title="EPFL-like circuit suite"))
+
+    # --- 2. Cut enumeration -> truth tables (paper Section V-A) ---------
+    functions = extract_cut_functions(
+        suite.values(), sizes=(4, 5, 6), limit_per_size=1500
+    )
+    print()
+    print(format_table(extraction_report(functions), title="Extracted cut functions"))
+
+    # --- 3. Classify with every method (paper Table III, miniature) -----
+    rows = []
+    for n in sorted(functions):
+        tables = functions[n]
+        exact = get_classifier("exact").classify(tables).num_classes
+        row = {"n": n, "functions": len(tables), "exact": exact}
+        for method in ("huang13", "zhou20", "ours"):
+            run = time_classifier(get_classifier(method), tables)
+            row[method] = f"{run.classes} ({run.seconds:.2f}s)"
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Classes (time) per method vs exact"))
+
+    print(
+        "\nReading: 'ours' matches exact; huang13 reports more classes\n"
+        "because its unresolved ties split orbits; see Table III benches\n"
+        "for the full comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Fig. 5 in miniature: runtime stability of signature vs canonical form.
+
+Classifies growing sets of consecutive-encoding random functions (the
+paper's Fig. 5 workload) with the face/point classifier and the Zhou'20
+canonical-form baseline, printing the cumulative-runtime series and a
+stability score (relative spread of per-chunk runtimes).
+
+Run:  python examples/runtime_stability.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.timing import time_classifier
+from repro.baselines import get_classifier
+from repro.experiments.fig5 import fig5_series
+from repro.workloads.random_functions import consecutive_tables
+
+COUNTS = (500, 1000, 2000, 4000)
+METHODS = ("ours", "zhou20")
+
+
+def main() -> None:
+    for width in (5, 7):
+        series = fig5_series(width, COUNTS, METHODS, seed=11 * width)
+        rows = [
+            {
+                "functions": point,
+                **{m: f"{series[m][k]:.3f}s" for m in METHODS},
+            }
+            for k, point in enumerate(series["points"])
+        ]
+        print(format_table(rows, title=f"{width}-bit cumulative runtime"))
+
+        tables = consecutive_tables(width, COUNTS[-1], seed=99 + width)
+        scores = {
+            m: time_classifier(get_classifier(m), tables, chunks=10)
+            for m in METHODS
+        }
+        print("stability (lower = steadier): " + "  ".join(
+            f"{m}={run.chunk_relative_spread:.3f}" for m, run in scores.items()
+        ))
+        print()
+
+    print(
+        "Reading: 'ours' grows linearly with the function count and its\n"
+        "per-chunk runtime barely varies; the canonical-form baseline's\n"
+        "cost depends on each function's symmetry structure (Fig. 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

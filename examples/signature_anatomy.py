@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Anatomy of the paper's signatures: Table I and the Figs. 3-4 case studies.
+
+Walks through the exact functions the paper uses to motivate point
+characteristics:
+
+* Table I    — every signature vector of f1 (3-majority) and f3;
+* Fig. 3     — a balanced NPN-equivalent pair whose OSV0/OSV1 swap;
+* Fig. 4     — non-equivalent pairs that cofactor signatures cannot
+               separate but influence/sensitivity can.
+
+Run:  python examples/signature_anatomy.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.matcher import are_npn_equivalent
+from repro.core import signatures as sig
+from repro.core.classifier import FacePointClassifier
+from repro.experiments.fig34 import (
+    find_fig3_witness,
+    find_fig4_g_witness,
+    find_fig4_h_witness,
+)
+from repro.experiments.table1 import run_table1
+from repro.hypercube.graph import induced_subgraph
+
+
+def main() -> None:
+    # --- Table I ---------------------------------------------------------
+    rows = [
+        {
+            "signature": row["signature"],
+            "f1 (MAJ3)": row["f1"],
+            "f3 (projection)": row["f3"],
+            "paper": "ok" if row["matches_paper"] else "MISMATCH",
+        }
+        for row in run_table1()
+    ]
+    print(format_table(rows, title="Table I — recomputed signature vectors"))
+
+    # --- Fig. 3: the balanced-function subtlety ---------------------------
+    f = find_fig3_witness()
+    g = ~f
+    print("\nFig. 3 — balanced equivalent pair (reconstructed):")
+    print(f"  f = {f!r}:  OSV1={sig.osv1(f)}  OSV0={sig.osv0(f)}")
+    print(f"  g = {g!r}:  OSV1={sig.osv1(g)}  OSV0={sig.osv0(g)}")
+    assert are_npn_equivalent(f, g)
+    assert sig.osv1(f) == sig.osv0(g) and sig.osv0(f) == sig.osv1(g)
+    print("  -> NPN equivalent, OSV0/OSV1 swapped: Theorem 3's balanced case.")
+    graph = induced_subgraph(f)
+    print(f"  (induced subgraph: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} edges on the Q4 hypercube)")
+
+    # --- Fig. 4: point characteristics refine face characteristics --------
+    g1, g2 = find_fig4_g_witness()
+    print("\nFig. 4 (g1, g2) — OIV splits what OCV1/OCV2 cannot:")
+    print(f"  OCV1 both = {sig.ocv1(g1)}")
+    print(f"  OIV(g1) = {sig.oiv(g1)}   OIV(g2) = {sig.oiv(g2)}")
+    assert not are_npn_equivalent(g1, g2)
+    cofactors_only = FacePointClassifier(["c0", "ocv1", "ocv2"])
+    with_influence = FacePointClassifier(["c0", "ocv1", "ocv2", "oiv"])
+    print(f"  classes by cofactors alone: {cofactors_only.count_classes([g1, g2])}")
+    print(f"  classes with OIV added:     {with_influence.count_classes([g1, g2])}")
+
+    h1, h2 = find_fig4_h_witness()
+    print("\nFig. 4 (h1, h2) — OSV splits what OCV1/OCV2/OIV cannot:")
+    print(f"  OIV both  = {sig.oiv(h1)}")
+    print(f"  OSV1(h1) = {sig.osv1(h1)}   OSV1(h2) = {sig.osv1(h2)}")
+    assert not are_npn_equivalent(h1, h2)
+    with_osv = FacePointClassifier(["c0", "ocv1", "ocv2", "oiv", "osv"])
+    print(f"  classes with OIV only: {with_influence.count_classes([h1, h2])}")
+    print(f"  classes with OSV too:  {with_osv.count_classes([h1, h2])}")
+
+
+if __name__ == "__main__":
+    main()

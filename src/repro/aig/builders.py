@@ -1,0 +1,384 @@
+"""Programmatic EPFL-like benchmark circuits.
+
+The EPFL combinational suite has two families — arithmetic (adder, barrel
+shifter, divisor, max, multiplier, sin, sqrt, square) and random/control
+(arbiter, cavlc, ctrl, dec, i2c, int2float, mem_ctrl, priority, router,
+voter).  The paper only consumes the *cut functions* of these circuits, so
+what matters for reproduction is covering the same structural variety:
+carry chains, shift networks, comparator trees, products, one-hot control,
+priority logic, and unstructured random control.  Every builder below
+returns a self-contained :class:`~repro.aig.network.AIG` whose outputs are
+verified bit-for-bit against integer arithmetic in the tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig.network import AIG, Literal
+
+__all__ = [
+    "ripple_adder",
+    "carry_lookahead_adder",
+    "subtractor",
+    "multiplier",
+    "square",
+    "divider",
+    "int_sqrt",
+    "barrel_shifter",
+    "max_unit",
+    "comparator",
+    "priority_encoder",
+    "decoder",
+    "round_robin_arbiter",
+    "majority_voter",
+    "parity",
+    "random_control",
+]
+
+
+def _full_adder(aig: AIG, a: Literal, b: Literal, cin: Literal):
+    total = aig.add_xor(aig.add_xor(a, b), cin)
+    carry = aig.add_maj(a, b, cin)
+    return total, carry
+
+
+def ripple_adder(width: int) -> AIG:
+    """``width``-bit ripple-carry adder: sum = a + b, plus carry out."""
+    aig = AIG(name=f"adder{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    carry = 0  # FALSE
+    for k in range(width):
+        total, carry = _full_adder(aig, a[k], b[k], carry)
+        aig.add_output(total, f"s{k}")
+    aig.add_output(carry, "cout")
+    return aig
+
+
+def carry_lookahead_adder(width: int) -> AIG:
+    """Adder with explicit generate/propagate carry network."""
+    aig = AIG(name=f"cla{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    generate = [aig.add_and(a[k], b[k]) for k in range(width)]
+    propagate = [aig.add_xor(a[k], b[k]) for k in range(width)]
+    carries = [0]
+    for k in range(width):
+        carries.append(
+            aig.add_or(generate[k], aig.add_and(propagate[k], carries[k]))
+        )
+    for k in range(width):
+        aig.add_output(aig.add_xor(propagate[k], carries[k]), f"s{k}")
+    aig.add_output(carries[width], "cout")
+    return aig
+
+
+def multiplier(width: int) -> AIG:
+    """Array multiplier: ``2*width``-bit product of two ``width``-bit words."""
+    aig = AIG(name=f"mult{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    columns: list[list[Literal]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.add_and(a[i], b[j]))
+    for k in range(2 * width):
+        while len(columns[k]) > 1:
+            if len(columns[k]) >= 3:
+                x, y, z = columns[k][:3]
+                del columns[k][:3]
+                total, carry = _full_adder(aig, x, y, z)
+            else:
+                x, y = columns[k][:2]
+                del columns[k][:2]
+                total = aig.add_xor(x, y)
+                carry = aig.add_and(x, y)
+            columns[k].append(total)
+            if k + 1 < 2 * width:
+                columns[k + 1].append(carry)
+        aig.add_output(columns[k][0] if columns[k] else 0, f"p{k}")
+    return aig
+
+
+def square(width: int) -> AIG:
+    """Squarer: the multiplier with both operands tied to one input word."""
+    aig = AIG(name=f"square{width}")
+    a = aig.add_inputs(width, "a")
+    columns: list[list[Literal]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.add_and(a[i], a[j]))
+    for k in range(2 * width):
+        while len(columns[k]) > 1:
+            if len(columns[k]) >= 3:
+                x, y, z = columns[k][:3]
+                del columns[k][:3]
+                total, carry = _full_adder(aig, x, y, z)
+            else:
+                x, y = columns[k][:2]
+                del columns[k][:2]
+                total = aig.add_xor(x, y)
+                carry = aig.add_and(x, y)
+            columns[k].append(total)
+            if k + 1 < 2 * width:
+                columns[k + 1].append(carry)
+        aig.add_output(columns[k][0] if columns[k] else 0, f"q{k}")
+    return aig
+
+
+def _vec_sub(aig: AIG, a: list[Literal], b: list[Literal]):
+    """Bit-vector subtraction ``a - b``: returns (difference, borrow_out).
+
+    Vectors must have equal length; ``borrow_out`` is 1 iff ``a < b``.
+    """
+    if len(a) != len(b):
+        raise ValueError("vector widths must match")
+    borrow: Literal = 0
+    diff = []
+    for x, y in zip(a, b):
+        diff.append(aig.add_xor(aig.add_xor(x, y), borrow))
+        borrow = aig.add_maj(x ^ 1, y, borrow)
+    return diff, borrow
+
+
+def _vec_mux(aig: AIG, select: Literal, if_true: list[Literal], if_false: list[Literal]):
+    return [aig.add_mux(select, t, f) for t, f in zip(if_true, if_false)]
+
+
+def subtractor(width: int) -> AIG:
+    """``width``-bit subtractor: diff = (a - b) mod 2^width, plus borrow."""
+    aig = AIG(name=f"sub{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    diff, borrow = _vec_sub(aig, a, b)
+    for k, bit in enumerate(diff):
+        aig.add_output(bit, f"d{k}")
+    aig.add_output(borrow, "borrow")
+    return aig
+
+
+def divider(width: int) -> AIG:
+    """Restoring unsigned divider: quotient and remainder of ``a / b``.
+
+    Division by zero follows the restoring-hardware convention:
+    quotient = all ones, remainder = a (the subtract-of-zero always
+    "succeeds").  EPFL's ``div`` is the scaled-up version of this unit.
+    """
+    aig = AIG(name=f"div{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    extended_b = list(b) + [0]
+    remainder: list[Literal] = [0] * (width + 1)
+    quotient: list[Literal] = [0] * width
+    for k in range(width - 1, -1, -1):
+        # remainder = (remainder << 1) | a_k; the dropped top bit is
+        # always 0 by the restoring invariant remainder <= max(b-1, a).
+        remainder = [a[k]] + remainder[:-1]
+        difference, borrow = _vec_sub(aig, remainder, extended_b)
+        fits = borrow ^ 1  # remainder >= b
+        quotient[k] = fits
+        remainder = _vec_mux(aig, fits, difference, remainder)
+    for k in range(width):
+        aig.add_output(quotient[k], f"q{k}")
+    for k in range(width):
+        aig.add_output(remainder[k], f"r{k}")
+    return aig
+
+
+def int_sqrt(width: int) -> AIG:
+    """Digit-recurrence integer square root (EPFL ``sqrt`` style).
+
+    Outputs ``root = floor(sqrt(a))`` (``ceil(width/2)`` bits) and the
+    remainder ``a - root^2``.
+    """
+    aig = AIG(name=f"sqrt{width}")
+    a = aig.add_inputs(width, "a")
+    pairs = (width + 1) // 2
+    length = 2 * pairs + 2
+    remainder: list[Literal] = [0] * length
+    root: list[Literal] = [0] * pairs
+
+    def input_bit(index: int) -> Literal:
+        return a[index] if index < width else 0
+
+    for k in range(pairs - 1, -1, -1):
+        # remainder = (remainder << 2) | next bit pair (MSB first).
+        remainder = [input_bit(2 * k), input_bit(2 * k + 1)] + remainder[:-2]
+        # trial = (root << 2) | 1.
+        trial = [1, 0] + root
+        trial = trial[:length] + [0] * (length - len(trial))
+        difference, borrow = _vec_sub(aig, remainder, trial)
+        fits = borrow ^ 1
+        remainder = _vec_mux(aig, fits, difference, remainder)
+        root = [fits] + root[:-1]
+    for k in range(pairs):
+        aig.add_output(root[k], f"s{k}")
+    for k in range(pairs + 1):
+        aig.add_output(remainder[k], f"r{k}")
+    return aig
+
+
+def barrel_shifter(width: int) -> AIG:
+    """Logarithmic left-rotate of a ``width``-bit word (width power of two)."""
+    if width & (width - 1):
+        raise ValueError("barrel shifter width must be a power of two")
+    aig = AIG(name=f"barrel{width}")
+    data = aig.add_inputs(width, "d")
+    select_bits = aig.add_inputs(width.bit_length() - 1, "s")
+    current = data
+    for stage, select in enumerate(select_bits):
+        shift = 1 << stage
+        current = [
+            aig.add_mux(select, current[(k - shift) % width], current[k])
+            for k in range(width)
+        ]
+    for k, lit in enumerate(current):
+        aig.add_output(lit, f"y{k}")
+    return aig
+
+
+def comparator(width: int) -> AIG:
+    """Unsigned comparison: outputs ``a > b`` and ``a == b``."""
+    aig = AIG(name=f"cmp{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    greater = 0
+    equal = 1
+    for k in range(width - 1, -1, -1):  # MSB first
+        bit_gt = aig.add_and(a[k], b[k] ^ 1)
+        bit_eq = aig.add_xnor(a[k], b[k])
+        greater = aig.add_or(greater, aig.add_and(equal, bit_gt))
+        equal = aig.add_and(equal, bit_eq)
+    aig.add_output(greater, "gt")
+    aig.add_output(equal, "eq")
+    return aig
+
+
+def max_unit(width: int) -> AIG:
+    """EPFL-style ``max``: the larger of two unsigned words."""
+    aig = AIG(name=f"max{width}")
+    a = aig.add_inputs(width, "a")
+    b = aig.add_inputs(width, "b")
+    greater = 0
+    equal = 1
+    for k in range(width - 1, -1, -1):
+        bit_gt = aig.add_and(a[k], b[k] ^ 1)
+        greater = aig.add_or(greater, aig.add_and(equal, bit_gt))
+        equal = aig.add_and(equal, aig.add_xnor(a[k], b[k]))
+    for k in range(width):
+        aig.add_output(aig.add_mux(greater, a[k], b[k]), f"m{k}")
+    return aig
+
+
+def priority_encoder(width: int) -> AIG:
+    """One-hot priority grant: request k wins iff no lower request is set."""
+    aig = AIG(name=f"priority{width}")
+    requests = aig.add_inputs(width, "r")
+    blocked = 0
+    for k in range(width):
+        aig.add_output(aig.add_and(requests[k], blocked ^ 1), f"g{k}")
+        blocked = aig.add_or(blocked, requests[k])
+    aig.add_output(blocked, "any")
+    return aig
+
+
+def decoder(bits: int) -> AIG:
+    """``bits``-to-``2^bits`` one-hot decoder (EPFL ``dec`` style)."""
+    aig = AIG(name=f"dec{bits}")
+    select = aig.add_inputs(bits, "s")
+    for value in range(1 << bits):
+        literals = [
+            select[k] if (value >> k) & 1 else select[k] ^ 1 for k in range(bits)
+        ]
+        aig.add_output(aig.add_and_tree(literals), f"d{value}")
+    return aig
+
+
+def round_robin_arbiter(width: int) -> AIG:
+    """Combinational round-robin arbiter core.
+
+    Inputs: ``width`` requests plus a one-hot(-ish) priority pointer; the
+    grant goes to the first request at or after the pointer position
+    (wrapping).  This is the combinational heart of the EPFL ``arbiter``.
+    """
+    aig = AIG(name=f"arbiter{width}")
+    requests = aig.add_inputs(width, "r")
+    pointer = aig.add_inputs(width, "p")
+    grants: list[Literal] = []
+    for k in range(width):
+        # Request k is granted iff the pointer is at slot s and no request
+        # in s..k-1 (cyclic) is active, for some s.
+        terms = []
+        for s in range(width):
+            blocked = 0
+            position = s
+            while position != k:
+                blocked = aig.add_or(blocked, requests[position])
+                position = (position + 1) % width
+            terms.append(aig.add_and(pointer[s], blocked ^ 1))
+        grants.append(aig.add_and(requests[k], aig.add_or_tree(terms)))
+    for k, grant in enumerate(grants):
+        aig.add_output(grant, f"g{k}")
+    return aig
+
+
+def majority_voter(inputs: int) -> AIG:
+    """N-way majority (EPFL ``voter`` style, N odd) via a population count."""
+    if inputs % 2 == 0:
+        raise ValueError("voter needs an odd number of inputs")
+    aig = AIG(name=f"voter{inputs}")
+    votes = aig.add_inputs(inputs, "v")
+    # Count set votes with a ripple counter of full adders.
+    width = inputs.bit_length()
+    total = [0] * width
+    for vote in votes:
+        carry = vote
+        for k in range(width):
+            total[k], carry = _full_adder(aig, total[k], carry, 0)
+    # Majority iff count > inputs // 2: compare against the constant.
+    threshold = inputs // 2
+    greater = 0
+    equal = 1
+    for k in range(width - 1, -1, -1):
+        threshold_bit = (threshold >> k) & 1
+        if threshold_bit:
+            equal = aig.add_and(equal, total[k])
+        else:
+            greater = aig.add_or(greater, aig.add_and(equal, total[k]))
+            equal = aig.add_and(equal, total[k] ^ 1)
+    aig.add_output(greater, "maj")
+    return aig
+
+
+def parity(inputs: int) -> AIG:
+    """XOR tree over ``inputs`` bits."""
+    aig = AIG(name=f"parity{inputs}")
+    bits = aig.add_inputs(inputs, "x")
+    aig.add_output(aig.add_xor_tree(bits), "p")
+    return aig
+
+
+def random_control(
+    inputs: int, gates: int, seed: int, outputs: int | None = None
+) -> AIG:
+    """Unstructured random control logic (EPFL random/control stand-in).
+
+    Each gate ANDs two randomly chosen, randomly complemented existing
+    signals; a random subset of signals becomes outputs.  Deterministic in
+    ``seed``.
+    """
+    rng = random.Random(seed)
+    aig = AIG(name=f"rand{inputs}x{gates}s{seed}")
+    signals = list(aig.add_inputs(inputs, "x"))
+    for _ in range(gates):
+        a = rng.choice(signals) ^ rng.getrandbits(1)
+        b = rng.choice(signals) ^ rng.getrandbits(1)
+        lit = aig.add_and(a, b)
+        if lit > 1:
+            signals.append(lit)
+    count = outputs if outputs is not None else max(1, inputs // 2)
+    pool = [s for s in signals if s // 2 > inputs] or signals
+    for position, lit in enumerate(rng.sample(pool, min(count, len(pool)))):
+        aig.add_output(lit, f"y{position}")
+    return aig

@@ -1,0 +1,144 @@
+"""k-feasible priority-cut enumeration — the paper's truth-table front end.
+
+A *cut* of node ``v`` is a set of variables (leaves) such that every path
+from ``v`` to the primary inputs passes through a leaf; it is k-feasible
+when it has at most ``k`` leaves.  Bottom-up enumeration merges the cut
+sets of the two fanins, filters oversized and dominated cuts, and keeps at
+most ``max_cuts`` per node (priority cuts) so the enumeration stays
+polynomial on large networks — the standard scheme from cut-based FPGA
+mapping, which is also how the paper extracts Boolean functions from the
+EPFL benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.network import AIG
+
+__all__ = ["Cut", "enumerate_cuts", "cut_statistics"]
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An immutable cut: sorted leaf variables plus a 64-bit Bloom signature."""
+
+    leaves: tuple[int, ...]
+    signature: int
+
+    @classmethod
+    def of(cls, leaves: tuple[int, ...]) -> "Cut":
+        signature = 0
+        for leaf in leaves:
+            signature |= 1 << (leaf & 63)
+        return cls(leaves, signature)
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's.
+
+        A dominated cut is redundant: any function computable over the
+        superset cut is computable over the subset cut.  The Bloom
+        signature rejects most non-subset pairs in O(1).
+        """
+        if self.signature & ~other.signature:
+            return False
+        return set(self.leaves) <= set(other.leaves)
+
+
+def merge_cuts(a: Cut, b: Cut, k: int) -> Cut | None:
+    """Union of two fanin cuts if it stays k-feasible."""
+    # Bloom popcount is a lower bound on the union size: sound cheap reject.
+    if (a.signature | b.signature).bit_count() > k:
+        return None
+    union = tuple(sorted(set(a.leaves) | set(b.leaves)))
+    if len(union) > k:
+        return None
+    return Cut.of(union)
+
+
+def enumerate_cuts(
+    aig: AIG, k: int, max_cuts: int = 16, include_trivial: bool = True
+) -> dict[int, list[Cut]]:
+    """All (priority) k-feasible cuts of every variable.
+
+    Args:
+        aig: the network.
+        k: maximum cut size (the paper sweeps the equivalent of 4..10).
+        max_cuts: per-node cap; the kept cuts are the smallest ones
+            (classical priority-cut pruning).
+        include_trivial: keep the singleton ``{v}`` cut on AND nodes.
+
+    Returns:
+        Map from variable index to its cut list.  Inputs own just their
+        trivial cut.
+    """
+    if k < 1:
+        raise ValueError("cut size must be at least 1")
+    cuts: dict[int, list[Cut]] = {}
+    for variable in aig.input_variables():
+        cuts[variable] = [Cut.of((variable,))]
+    for variable in aig.and_variables():
+        f0, f1 = aig.fanins(variable)
+        v0, v1 = f0 // 2, f1 // 2
+        candidates: list[Cut] = []
+        for cut_a in cuts.get(v0, [_constant_cut()]):
+            for cut_b in cuts.get(v1, [_constant_cut()]):
+                merged = merge_cuts(cut_a, cut_b, k)
+                if merged is not None:
+                    candidates.append(merged)
+        kept = _filter_cuts(candidates, max_cuts)
+        if include_trivial:
+            kept.append(Cut.of((variable,)))
+        cuts[variable] = kept
+    return cuts
+
+
+def cut_statistics(cuts: dict[int, list[Cut]]) -> dict[int, int]:
+    """Histogram of cut sizes over all nodes (bench instrumentation)."""
+    histogram: dict[int, int] = {}
+    for cut_list in cuts.values():
+        for cut in cut_list:
+            histogram[cut.size] = histogram.get(cut.size, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def _constant_cut() -> Cut:
+    """The empty cut owned by the constant node."""
+    return Cut.of(())
+
+
+def _filter_cuts(candidates: list[Cut], max_cuts: int) -> list[Cut]:
+    """Remove duplicates and dominated cuts; keep ``max_cuts`` diverse cuts.
+
+    Domination is checked ascending by size (only smaller cuts can
+    dominate).  Selection round-robins across size groups instead of
+    keeping only the smallest cuts: the downstream consumer is function
+    *extraction*, which needs large cuts as much as small ones.
+    """
+    unique: dict[tuple[int, ...], Cut] = {}
+    for cut in candidates:
+        unique.setdefault(cut.leaves, cut)
+    ordered = sorted(unique.values(), key=lambda c: (c.size, c.leaves))
+    survivors: list[Cut] = []
+    for cut in ordered:
+        if any(existing.dominates(cut) for existing in survivors):
+            continue
+        survivors.append(cut)
+    by_size: dict[int, list[Cut]] = {}
+    for cut in survivors:
+        by_size.setdefault(cut.size, []).append(cut)
+    kept: list[Cut] = []
+    groups = [by_size[size] for size in sorted(by_size)]
+    position = 0
+    while len(kept) < max_cuts and any(groups):
+        group = groups[position % len(groups)]
+        if group:
+            kept.append(group.pop(0))
+        position += 1
+        if all(not g for g in groups):
+            break
+    return kept

@@ -1,0 +1,64 @@
+"""Dependency-free ASCII line charts for terminal output.
+
+Used by the CLI's ``fig5`` command to render the runtime-vs-functions
+series the paper plots, without requiring matplotlib (unavailable in the
+offline environment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets a marker from ``o x + * # @``; axes are annotated
+    with the data ranges.  Points are plotted at nearest cells; no
+    interpolation.
+    """
+    if not xs or not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+    x_min, x_max = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            column = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<12.6g}" + " " * max(0, width - 24) + f"{x_max:>12.6g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

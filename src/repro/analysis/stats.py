@@ -1,0 +1,78 @@
+"""Classification accuracy metrics and refinement checks.
+
+The paper's Tables II/III compare methods by *class count* against the
+exact count.  For a sound signature classifier ``#classes <= #exact``
+(collisions merge); for a heuristic canonical form ``#classes >= #exact``
+(unresolved ties split).  Accuracy is reported as the ratio to exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.classifier import FacePointClassifier
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "accuracy",
+    "class_count_matrix",
+    "refinement_holds",
+    "collision_examples",
+]
+
+
+def accuracy(claimed_classes: int, exact_classes: int) -> float:
+    """``claimed / exact`` — 1.0 means exact classification.
+
+    Sound signature methods give values <= 1 (they can only merge); the
+    heuristic canonical forms give values >= 1 (they can only split).
+    """
+    if exact_classes <= 0:
+        raise ValueError("exact class count must be positive")
+    return claimed_classes / exact_classes
+
+
+def class_count_matrix(
+    tables: Sequence[TruthTable], part_selections: dict[str, Iterable[str]]
+) -> dict[str, int]:
+    """Class counts for several MSV part selections (Table II columns)."""
+    return {
+        label: FacePointClassifier(parts).count_classes(tables)
+        for label, parts in part_selections.items()
+    }
+
+
+def refinement_holds(counts: Sequence[int]) -> bool:
+    """True if the class-count sequence is non-decreasing.
+
+    Feeding counts ordered from weaker to stronger part selections checks
+    the refinement property adding signature parts can only split classes.
+    """
+    return all(a <= b for a, b in zip(counts, counts[1:]))
+
+
+def collision_examples(
+    tables: Sequence[TruthTable],
+    parts: Iterable[str],
+    max_examples: int = 5,
+) -> list[tuple[TruthTable, TruthTable]]:
+    """Pairs of NPN-*non*-equivalent functions sharing an MSV.
+
+    These are exactly the classifier's inaccuracies (paper Section V-C:
+    "our classifier cannot return exact matching solutions").  Expensive
+    — calls the exact matcher inside shared buckets — so bounded by
+    ``max_examples``.
+    """
+    from repro.baselines.matcher import are_npn_equivalent
+
+    clf = FacePointClassifier(parts)
+    examples: list[tuple[TruthTable, TruthTable]] = []
+    for members in clf.classify(tables).groups.values():
+        representative = members[0]
+        for other in members[1:]:
+            if len(examples) >= max_examples:
+                return examples
+            if not are_npn_equivalent(representative, other):
+                examples.append((representative, other))
+                break
+    return examples

@@ -1,0 +1,71 @@
+"""Paper-style table rendering for benches and the CLI.
+
+Rows are dicts; columns are inferred from the first row unless given.
+Formats as aligned plain text (for terminals / bench logs) or GitHub
+markdown (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "write_markdown_table", "format_markdown_table"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
+    """Aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_render_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[k]), *(len(r[k]) for r in rendered))
+        for k in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[k]) for k, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[k].ljust(widths[k]) for k in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[dict], columns: Sequence[str] | None = None
+) -> str:
+    """GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_render_cell(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def write_markdown_table(
+    rows: Sequence[dict],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    """Write a markdown table (with optional heading) to a file."""
+    content = format_markdown_table(rows, columns)
+    if title:
+        content = f"## {title}\n\n{content}\n"
+    Path(path).write_text(content)

@@ -1,0 +1,142 @@
+"""Shared canonicalisation machinery for the reconstructed baselines.
+
+Canonical-form methods (Huang'13, Petkovska'16, Zhou'20) all follow the
+same skeleton the paper describes in Section V: normalise output and input
+polarities from cofactor counts, order variables by signature keys, and
+differ in how hard they work on the *ties*.  This module provides the
+common pieces:
+
+* :func:`phase_normalize` — polarity normalisation by satisfy counts;
+* :func:`refine_partition` — iterated partition refinement of the
+  variable order using 2-ary cross-cofactor keys;
+* :func:`ordering_transform` — turn an ordering + polarities into an
+  :class:`~repro.core.transforms.NPNTransform`.
+"""
+
+from __future__ import annotations
+
+from repro.core.transforms import NPNTransform
+from repro.core.truth_table import TruthTable
+
+__all__ = ["phase_normalize", "refine_partition", "ordering_transform"]
+
+
+def phase_normalize(tt: TruthTable) -> tuple[TruthTable, int, int]:
+    """Make ones the minority globally and per variable.
+
+    Returns ``(g, output_phase, input_phase)`` where ``g`` is ``tt`` with
+    the output complemented when ``|f| > 2^(n-1)`` and each input ``i``
+    complemented when ``|f_{x_i=1}| > |f_{x_i=0}|``.  Ties (balanced
+    function or balanced variable) keep the positive polarity — the
+    deliberate heuristic gap that separates the fast baselines from exact
+    methods.
+    """
+    n = tt.n
+    output_phase = 0
+    if n and tt.count_ones() > (1 << (n - 1)):
+        tt = ~tt
+        output_phase = 1
+    input_phase = 0
+    for i in range(n):
+        if tt.cofactor_count(i, 1) > tt.cofactor_count(i, 0):
+            tt = tt.flip_input(i)
+            input_phase |= 1 << i
+    return tt, output_phase, input_phase
+
+
+def refine_partition(
+    tt: TruthTable,
+    max_rounds: int | None = None,
+    initial_keys: list[tuple] | None = None,
+) -> list[list[int]]:
+    """Order variables by signature keys, refining ties iteratively.
+
+    Starts from the 1-ary cofactor count of each variable (or the caller's
+    ``initial_keys`` — e.g. the face/point variable keys of the guided
+    canonicaliser) and repeatedly extends each variable's key with the
+    sorted multiset of its 2-ary cofactor counts *grouped by the current
+    block of the other variable* — the cross-signature refinement used by
+    the hierarchical classifiers.  Stops at a fixpoint (or after
+    ``max_rounds``).
+
+    Returns the ordered blocks: a list of variable groups, smallest key
+    first; variables inside one block are indistinguishable under the
+    refinement and form the residual tie.
+    """
+    n = tt.n
+    if n == 0:
+        return []
+    if initial_keys is not None:
+        if len(initial_keys) != n:
+            raise ValueError("initial_keys must have one entry per variable")
+        keys = [(tt.cofactor_count(i, 1), initial_keys[i]) for i in range(n)]
+    else:
+        keys = [(tt.cofactor_count(i, 1),) for i in range(n)]
+    rounds = 0
+    while True:
+        blocks = _blocks_from_keys(keys)
+        if len(blocks) == n:
+            break
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            break
+        block_of = {}
+        for index, block in enumerate(blocks):
+            for v in block:
+                block_of[v] = index
+        new_keys = []
+        for i in range(n):
+            cross = []
+            for j in range(n):
+                if j == i:
+                    continue
+                counts = tuple(
+                    sorted(
+                        _pair_count(tt, i, vi, j, vj)
+                        for vi in (0, 1)
+                        for vj in (0, 1)
+                    )
+                )
+                cross.append((block_of[j], counts))
+            new_keys.append(keys[i] + (tuple(sorted(cross)),))
+        old_partition = {frozenset(block) for block in blocks}
+        new_partition = {frozenset(block) for block in _blocks_from_keys(new_keys)}
+        if new_partition == old_partition:
+            break
+        keys = new_keys
+    return _blocks_from_keys(keys)
+
+
+def ordering_transform(
+    n: int, order: list[int], input_phase: int, output_phase: int
+) -> NPNTransform:
+    """Transform placing original variable ``order[j]`` at position ``j``.
+
+    ``input_phase`` and ``output_phase`` are expressed on the *original*
+    function's variables (as returned by :func:`phase_normalize`); the
+    phase word is composed into the transform.
+    """
+    rank = [0] * n
+    for position, variable in enumerate(order):
+        rank[variable] = position
+    # g(x) = f(w), w_i = x_{perm[i]} ^ p_i with perm[i] = rank[i]: original
+    # variable i is read from position rank[i], negated per input_phase.
+    return NPNTransform(tuple(rank), input_phase, output_phase)
+
+
+def _pair_count(tt: TruthTable, i: int, vi: int, j: int, vj: int) -> int:
+    from repro.core.characteristics import cofactor_count
+
+    return cofactor_count(tt, (i, j), (vi | (vj << 1)))
+
+
+def _blocks_from_keys(keys: list[tuple]) -> list[list[int]]:
+    order = sorted(range(len(keys)), key=lambda i: keys[i])
+    blocks: list[list[int]] = []
+    previous = None
+    for i in order:
+        if keys[i] != previous:
+            blocks.append([])
+            previous = keys[i]
+        blocks[-1].append(i)
+    return blocks

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro`` / ``repro-npn``.
+
+Subcommands:
+
+* ``classify``   — NPN-classify truth tables from a file or stdin;
+* ``signatures`` — print every signature vector of one function;
+* ``suite``      — show the EPFL-like benchmark suite;
+* ``extract``    — run the cut-function extraction pipeline;
+* ``table1 | table2 | table3 | fig5 | fig34`` — regenerate the paper's
+  tables and figures at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.baselines.base import registered_classifiers
+from repro.core.truth_table import TruthTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-npn",
+        description="Face/point-characteristic NPN classification (DATE 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify = sub.add_parser("classify", help="classify truth tables from a file")
+    classify.add_argument("file", help="one table per line (hex or binary); '-' for stdin")
+    classify.add_argument(
+        "--method",
+        default="ours",
+        choices=sorted(registered_classifiers()),
+        help="classifier to use",
+    )
+    classify.add_argument(
+        "--show-classes", action="store_true", help="print class members"
+    )
+
+    signatures = sub.add_parser("signatures", help="signature vectors of one function")
+    signatures.add_argument("table", help="truth table (binary, or hex with 0x prefix)")
+    signatures.add_argument("--n", type=int, help="variable count (needed for hex)")
+
+    sub.add_parser("suite", help="summarise the EPFL-like benchmark suite")
+
+    extract = sub.add_parser("extract", help="extract cut functions from the suite")
+    extract.add_argument("--sizes", default="4,5,6", help="comma-separated cut sizes")
+    extract.add_argument("--scale", type=int, default=1, help="suite scale factor")
+    extract.add_argument("--limit", type=int, default=None, help="cap per size")
+
+    canonical = sub.add_parser(
+        "canonical", help="exact NPN canonical form of one function"
+    )
+    canonical.add_argument("table", help="truth table (binary, or hex with 0x prefix)")
+    canonical.add_argument("--n", type=int, help="variable count (needed for hex)")
+
+    match = sub.add_parser("match", help="find an NPN transform between two functions")
+    match.add_argument("source", help="source truth table")
+    match.add_argument("target", help="target truth table")
+    match.add_argument("--n", type=int, help="variable count (needed for hex)")
+
+    for name, description in (
+        ("table1", "signature vectors of f1/f3 (paper Table I)"),
+        ("table2", "signature-vector ablation (paper Table II)"),
+        ("table3", "classifier comparison (paper Table III)"),
+        ("fig5", "runtime stability (paper Fig. 5)"),
+        ("fig34", "discrimination witnesses (paper Figs. 3-4)"),
+    ):
+        cmd = sub.add_parser(name, help=description)
+        if name in ("table2", "table3", "fig5"):
+            cmd.add_argument(
+                "--scale",
+                default=None,
+                choices=("smoke", "small", "paper"),
+                help="workload scale (default: REPRO_BENCH_SCALE or small)",
+            )
+        if name in ("table2", "table3"):
+            cmd.add_argument(
+                "--no-exact",
+                action="store_true",
+                help="skip the exact-class ground-truth column",
+            )
+    return parser
+
+
+def parse_tables(lines, n_hint: int | None = None) -> list[TruthTable]:
+    """Parse one truth table per line (binary, or hex needing ``n``)."""
+    tables = []
+    for raw in lines:
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        tables.append(_parse_one(text, n_hint))
+    return tables
+
+
+def _parse_one(text: str, n_hint: int | None) -> TruthTable:
+    if text.startswith("0x") or n_hint is not None and any(
+        c in "abcdefABCDEF" for c in text
+    ):
+        if n_hint is None:
+            digits = len(text.removeprefix("0x"))
+            bits = digits * 4
+            if bits & (bits - 1):
+                raise ValueError(
+                    f"cannot infer variable count from {text!r}; pass --n"
+                )
+            n_hint = bits.bit_length() - 1
+        return TruthTable.from_hex(n_hint, text)
+    if set(text) <= {"0", "1"} and len(text) >= 2:
+        return TruthTable.from_binary(text)
+    raise ValueError(f"cannot parse truth table {text!r}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "classify":
+        return _cmd_classify(args)
+    if command == "signatures":
+        return _cmd_signatures(args)
+    if command == "suite":
+        return _cmd_suite()
+    if command == "canonical":
+        return _cmd_canonical(args)
+    if command == "match":
+        return _cmd_match(args)
+    if command == "extract":
+        return _cmd_extract(args)
+    if command == "table1":
+        from repro.experiments.table1 import run_table1
+
+        print(format_table(run_table1(), title="Table I — signature vectors"))
+        return 0
+    if command == "table2":
+        from repro.experiments.table2 import run_table2
+
+        rows = run_table2(args.scale, exact=not args.no_exact)
+        print(format_table(rows, title="Table II — signature-vector ablation"))
+        return 0
+    if command == "table3":
+        from repro.experiments.table3 import run_table3
+
+        rows = run_table3(args.scale, exact=not args.no_exact)
+        print(format_table(rows, title="Table III — classifier comparison"))
+        return 0
+    if command == "fig5":
+        from repro.analysis.ascii_plot import ascii_chart
+        from repro.experiments.fig5 import run_fig5
+
+        for row in run_fig5(args.scale):
+            series = {
+                key: row[key]
+                for key in row
+                if isinstance(row.get(key), list) and key != "points"
+            }
+            print(
+                ascii_chart(
+                    row["points"],
+                    series,
+                    title=f"Fig. 5 — {row['n']}-bit: cumulative seconds vs #functions",
+                )
+            )
+            stability = {
+                key: row[key] for key in row if key.endswith("_stability")
+            }
+            print(f"stability (relative spread): {stability}\n")
+        return 0
+    if command == "fig34":
+        from repro.experiments.fig34 import run_fig34
+
+        print(format_table(run_fig34(), title="Figs. 3-4 — reconstructed witnesses"))
+        return 0
+    raise AssertionError(f"unhandled command {command}")  # pragma: no cover
+
+
+def _cmd_classify(args) -> int:
+    from repro.baselines import get_classifier
+
+    if args.file == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.file) as handle:
+            lines = handle.readlines()
+    tables = parse_tables(lines)
+    if not tables:
+        print("no truth tables found", file=sys.stderr)
+        return 1
+    result = get_classifier(args.method).classify(tables)
+    print(f"functions: {result.num_functions}")
+    print(f"classes:   {result.num_classes} ({args.method})")
+    if args.show_classes:
+        for index, members in enumerate(result.groups.values()):
+            rendered = " ".join(str(tt) for tt in members)
+            print(f"  class {index}: {rendered}")
+    return 0
+
+
+def _cmd_signatures(args) -> int:
+    from repro.core import signatures as sig
+    from repro.core.msv import compute_msv
+
+    tt = _parse_one(args.table, args.n)
+    print(f"function:  {tt!r}")
+    print(f"|f| = {tt.count_ones()}  balanced={tt.is_balanced}")
+    print(f"OCV1  = {sig.ocv1(tt)}")
+    print(f"OCV2  = {sig.ocv2(tt)}")
+    print(f"OIV   = {sig.oiv(tt)}")
+    print(f"OSV   = {sig.osv(tt)}")
+    print(f"OSV0  = {sig.osv0(tt)}")
+    print(f"OSV1  = {sig.osv1(tt)}")
+    print(f"OSDV  = {sig.osdv(tt)}")
+    print(f"OSDV0 = {sig.osdv0(tt)}")
+    print(f"OSDV1 = {sig.osdv1(tt)}")
+    print(f"MSV digest = {compute_msv(tt).digest()}")
+    return 0
+
+
+def _cmd_canonical(args) -> int:
+    from repro.baselines.guided import guided_exact_canonical, search_space_size
+    from repro.baselines.matcher import find_npn_transform
+
+    tt = _parse_one(args.table, args.n)
+    canonical = guided_exact_canonical(tt)
+    witness = find_npn_transform(tt, canonical)
+    print(f"function:   {tt!r}")
+    print(f"canonical:  {canonical!r}  binary={canonical.to_binary()}")
+    print(f"witness:    {witness}")
+    print(f"candidates searched: {search_space_size(tt)}")
+    return 0
+
+
+def _cmd_match(args) -> int:
+    from repro.baselines.matcher import find_npn_transform
+
+    source = _parse_one(args.source, args.n)
+    target = _parse_one(args.target, args.n)
+    transform = find_npn_transform(source, target)
+    if transform is None:
+        print("NOT NPN equivalent")
+        return 1
+    print(f"NPN equivalent via {transform}")
+    print(
+        f"perm={transform.perm} input_phase={transform.input_phase:#x} "
+        f"output_phase={transform.output_phase}"
+    )
+    return 0
+
+
+def _cmd_suite() -> int:
+    from repro.workloads.epfl import epfl_like_suite, suite_summary
+
+    rows = suite_summary(epfl_like_suite())
+    print(format_table(rows, title="EPFL-like benchmark suite"))
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from repro.workloads.epfl import epfl_like_suite
+    from repro.workloads.extraction import extract_cut_functions, extraction_report
+
+    sizes = [int(piece) for piece in args.sizes.split(",")]
+    suite = epfl_like_suite(scale=args.scale)
+    functions = extract_cut_functions(
+        suite.values(), sizes=sizes, limit_per_size=args.limit
+    )
+    print(format_table(extraction_report(functions), title="Extracted cut functions"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

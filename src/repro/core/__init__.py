@@ -1,0 +1,6 @@
+"""Core substrate: truth tables, NPN transforms, characteristics, signatures."""
+
+from repro.core.truth_table import TruthTable
+from repro.core.transforms import NPNTransform
+
+__all__ = ["TruthTable", "NPNTransform"]

@@ -1,0 +1,173 @@
+"""Face and point characteristics of Boolean functions (paper Section II).
+
+Three families of raw quantities, before any sorting into signature
+vectors:
+
+* **cofactor** satisfy counts — *face* characteristics: a cofactor is a
+  face of the hypercube and its satisfy count is the number of 1-minterms
+  on that face (Definitions 1-2);
+* **sensitivity** — *point* characteristics: for a word ``X``, how many
+  neighbouring points take a different value (Definitions 3-4);
+* **influence** — *point-face* characteristics: for a variable ``i``, how
+  many words are sensitive at ``i``, i.e. how much two opposite faces
+  disagree (Definition 5).
+
+The integer influence convention follows the paper's footnote 1:
+``inf(f, i) = |{X : f(X) != f(X^i)}| / 2`` — always an integer because
+sensitive words come in pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "cofactor_count",
+    "cofactor_counts_1ary",
+    "cofactor_counts",
+    "is_sensitive_at",
+    "local_sensitivity",
+    "sensitivity_profile",
+    "sensitivity",
+    "sensitivity01",
+    "influence",
+    "influences",
+    "total_influence",
+    "influence_fraction",
+]
+
+
+# ----------------------------------------------------------------------
+# Face characteristics — cofactor satisfy counts (Definitions 1-2)
+# ----------------------------------------------------------------------
+
+
+def cofactor_count(tt: TruthTable, variables: tuple[int, ...], values: int) -> int:
+    """Satisfy count of the cofactor w.r.t. ``variables`` fixed to ``values``.
+
+    ``values`` packs one bit per entry of ``variables`` (bit ``k`` is the
+    value assigned to ``variables[k]``).  The 0-ary cofactor signature
+    (empty ``variables``) is the plain satisfy count ``|f|``.
+    """
+    mask = bitops.table_mask(tt.n)
+    for k, i in enumerate(variables):
+        var = bitops.var_mask(tt.n, i)
+        mask &= var if (values >> k) & 1 else ~var
+    return bitops.popcount(tt.bits & mask)
+
+
+def cofactor_counts_1ary(tt: TruthTable) -> tuple[int, ...]:
+    """All ``2n`` 1-ary cofactor counts, ordered ``(x0=0, x0=1, x1=0, ...)``."""
+    counts = []
+    full = bitops.table_mask(tt.n)
+    for i in range(tt.n):
+        mask = bitops.var_mask(tt.n, i)
+        counts.append(bitops.popcount(tt.bits & ~mask & full))
+        counts.append(bitops.popcount(tt.bits & mask))
+    return tuple(counts)
+
+
+def cofactor_counts(tt: TruthTable, ell: int) -> tuple[int, ...]:
+    """All ``C(n, ell) * 2^ell`` ``ell``-ary cofactor counts.
+
+    Deterministic order: variable subsets in lexicographic order, then
+    value assignments in ascending binary order.  ``ell = 0`` returns the
+    single satisfy count.
+    """
+    if ell < 0:
+        raise ValueError(f"cofactor arity {ell} must be non-negative")
+    counts = []  # empty when ell > n: no variable subsets of that size exist
+    for subset in itertools.combinations(range(tt.n), ell):
+        for values in range(1 << ell):
+            counts.append(cofactor_count(tt, subset, values))
+    return tuple(counts)
+
+
+# ----------------------------------------------------------------------
+# Point characteristics — sensitivity (Definitions 3-4)
+# ----------------------------------------------------------------------
+
+
+def is_sensitive_at(tt: TruthTable, word: int, i: int) -> bool:
+    """Definition 3: does flipping ``x_i`` at ``word`` flip the output?"""
+    return tt.evaluate(word) != tt.evaluate(word ^ (1 << i))
+
+
+def local_sensitivity(tt: TruthTable, word: int) -> int:
+    """Definition 4: ``sen(f, X)`` — number of sensitive literals at ``X``."""
+    return sum(is_sensitive_at(tt, word, i) for i in range(tt.n))
+
+
+def sensitivity_profile(tt: TruthTable) -> np.ndarray:
+    """``sen(f, X)`` for every word ``X``, as an int64 array of length 2^n.
+
+    Vectorised: variable ``i`` contributes its sensitivity word (an XOR of
+    the table with its ``x_i``-flipped self) and the per-word counts are
+    the bitwise sum over variables.
+    """
+    total = np.zeros(1 << tt.n, dtype=np.int64)
+    for i in range(tt.n):
+        word = bitops.sensitivity_word(tt.bits, tt.n, i)
+        total += bitops.to_bit_array(word, tt.n)
+    return total
+
+
+def sensitivity(tt: TruthTable) -> int:
+    """Global sensitivity ``sen(f) = max_X sen(f, X)``."""
+    if tt.n == 0:
+        return 0
+    return int(sensitivity_profile(tt).max())
+
+
+def sensitivity01(tt: TruthTable) -> tuple[int, int]:
+    """``(sen0(f), sen1(f))`` — maxima over 0-words and 1-words.
+
+    A constant side contributes 0 (no words of that value exist only for
+    constant functions, where the paper's max over an empty set is taken
+    as 0).
+    """
+    profile = sensitivity_profile(tt)
+    ones = tt.bit_array().astype(bool)
+    sen0 = int(profile[~ones].max()) if (~ones).any() else 0
+    sen1 = int(profile[ones].max()) if ones.any() else 0
+    return sen0, sen1
+
+
+# ----------------------------------------------------------------------
+# Point-face characteristics — influence (Definition 5)
+# ----------------------------------------------------------------------
+
+
+def influence(tt: TruthTable, i: int) -> int:
+    """Integer influence of variable ``i`` (paper footnote 1 convention).
+
+    Half the number of words where ``f`` is sensitive at ``x_i``; the true
+    probability of Definition 5 is this value divided by ``2^(n-1)``.
+    """
+    word = bitops.sensitivity_word(tt.bits, tt.n, i)
+    count = bitops.popcount(word)
+    return count // 2
+
+
+def influences(tt: TruthTable) -> tuple[int, ...]:
+    """Integer influence of every variable, in variable order."""
+    return tuple(influence(tt, i) for i in range(tt.n))
+
+
+def total_influence(tt: TruthTable) -> int:
+    """``inf(f) = sum_i inf(f, i)`` in the integer convention.
+
+    Equals half the sum of all local sensitivities — the average
+    sensitivity relation the property tests check.
+    """
+    return sum(influences(tt))
+
+
+def influence_fraction(tt: TruthTable, i: int) -> float:
+    """Definition 5 verbatim: ``Pr_X[f(X) != f(X^i)]``."""
+    return influence(tt, i) / (1 << (tt.n - 1)) if tt.n else 0.0

@@ -1,0 +1,83 @@
+"""NPN class libraries: orbits, representatives, class enumeration.
+
+Downstream users of an NPN classifier usually want the *library* view:
+the set of canonical representatives, the orbit of a function, and how a
+function population distributes over classes — e.g. to build the NPN
+pattern libraries used by technology mappers and rewriting engines.
+Everything here rides on the exact guided canonical form, so the
+resulting libraries are exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.baselines.guided import guided_exact_canonical
+from repro.core.transforms import all_transforms, group_order
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "orbit",
+    "orbit_size",
+    "stabilizer_order",
+    "npn_class_representatives",
+    "class_distribution",
+    "KNOWN_CLASS_COUNTS",
+]
+
+#: Number of NPN classes over ALL n-variable functions (OEIS A000370).
+KNOWN_CLASS_COUNTS = {0: 1, 1: 2, 2: 4, 3: 14, 4: 222}
+
+
+def orbit(tt: TruthTable) -> set[TruthTable]:
+    """The full NPN orbit of a function (enumerates the group; n <= 5)."""
+    if tt.n > 5:
+        raise ValueError("orbit enumeration is exponential; supported for n <= 5")
+    return {tt.apply(t) for t in all_transforms(tt.n)}
+
+
+def orbit_size(tt: TruthTable) -> int:
+    """Number of distinct functions NPN-equivalent to ``tt``."""
+    return len(orbit(tt))
+
+
+def stabilizer_order(tt: TruthTable) -> int:
+    """Order of the symmetry group of ``tt`` inside the NPN group.
+
+    By orbit-stabilizer: ``|orbit| * |stabilizer| = 2^(n+1) * n!``.
+    A large stabiliser means a highly symmetric function.
+    """
+    size = orbit_size(tt)
+    total = group_order(tt.n)
+    if total % size:
+        raise AssertionError("orbit size must divide the group order")
+    return total // size
+
+
+def npn_class_representatives(n: int) -> list[TruthTable]:
+    """Canonical representative of every NPN class of ``n``-variable functions.
+
+    Sweeps the whole ``2^(2^n)`` function space — exact and exhaustive,
+    practical for ``n <= 4`` (222 classes, a few tens of seconds in pure
+    Python at n = 4).
+    """
+    if n > 4:
+        raise ValueError("representative sweep is doubly exponential; n <= 4 only")
+    representatives: set[TruthTable] = set()
+    for bits in range(1 << (1 << n)):
+        representatives.add(guided_exact_canonical(TruthTable(n, bits)))
+    return sorted(representatives)
+
+
+def class_distribution(tables: Iterable[TruthTable]) -> Counter:
+    """How a function population distributes over exact NPN classes.
+
+    Returns a Counter keyed by canonical representative.  The head of the
+    distribution is what pattern-library designers care about: which few
+    classes dominate real netlists.
+    """
+    counts: Counter = Counter()
+    for tt in tables:
+        counts[guided_exact_canonical(tt)] += 1
+    return counts

@@ -1,0 +1,205 @@
+"""Mixed Signature Vector (MSV) — Algorithm 1, line 6 of the paper.
+
+The MSV concatenates selected signature vectors into one hashable key.
+Part names:
+
+========== ==========================================================
+``c0``      satisfy count of the phase-normalised function (0-ary OCV)
+``ocv1``    ordered 1-ary cofactor vector
+``ocv2``    ordered 2-ary cofactor vector
+``oiv``     ordered influence vector
+``osv``     the split pair ``(OSV1, OSV0)`` as histograms — the paper's
+            runtime-saving replacement for the full ``OSV``
+``osv_full``  unsplit ``OSV`` histogram (output-negation invariant)
+``osdv``    the split pair ``(OSDV1, OSDV0)``
+``osdv_full`` unsplit ``OSDV``
+``spectral``  sorted absolute Walsh spectrum (extension, not in paper)
+========== ==========================================================
+
+Output-negation canonicalisation (Theorems 3-4): for unbalanced functions
+the phase with the *smaller* satisfy count is selected and every part is
+computed for that polarity; for balanced functions the full key is
+evaluated for both polarities and the lexicographically smaller key wins.
+This generalises the paper's rule of always storing the smaller of
+``OSV1``/``OSV0`` first, and makes the whole key an NPN invariant (the
+never-split property the tests enforce).
+
+The complement-polarity key is *derived*, not recomputed: cofactor counts
+complement within their face size, influence and the sensitivity profile
+are unchanged, and the 0/1-split vectors simply swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core import characteristics as chars
+from repro.core.signatures import _osdv_from_buckets
+from repro.core.truth_table import TruthTable
+
+__all__ = ["MixedSignature", "compute_msv", "PART_NAMES", "DEFAULT_PARTS"]
+
+PART_NAMES = (
+    "c0",
+    "ocv1",
+    "ocv2",
+    "ocv3",
+    "oiv",
+    "osv",
+    "osv_full",
+    "osdv",
+    "osdv_full",
+    "spectral",
+)
+
+DEFAULT_PARTS = ("c0", "ocv1", "ocv2", "oiv", "osv", "osdv")
+
+
+@dataclass(frozen=True)
+class MixedSignature:
+    """Canonical NPN-invariant signature of one Boolean function."""
+
+    n: int
+    parts: tuple[str, ...]
+    key: tuple
+
+    def digest(self) -> str:
+        """Stable 16-hex-digit digest of the key (for logs and storage)."""
+        payload = repr((self.n, self.parts, self.key)).encode()
+        return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+def normalize_parts(parts) -> tuple[str, ...]:
+    """Validate and order a part selection canonically."""
+    requested = set(parts)
+    unknown = requested - set(PART_NAMES)
+    if unknown:
+        raise ValueError(f"unknown MSV parts: {sorted(unknown)}")
+    if not requested:
+        raise ValueError("MSV needs at least one part")
+    return tuple(name for name in PART_NAMES if name in requested)
+
+
+def compute_msv(tt: TruthTable, parts=DEFAULT_PARTS) -> MixedSignature:
+    """Compute the MSV of a function for the selected signature parts."""
+    selected = normalize_parts(parts)
+    n = tt.n
+    count = tt.count_ones()
+    total = 1 << n
+
+    pieces = _RawPieces(tt, selected)
+    if 2 * count > total:
+        phases = (1,)
+    elif 2 * count == total:
+        phases = (0, 1)
+    else:
+        phases = (0,)
+    key = min(pieces.key_for_phase(q) for q in phases)
+    return MixedSignature(n, selected, key)
+
+
+class _RawPieces:
+    """Raw characteristics computed once; per-polarity keys derived from them."""
+
+    def __init__(self, tt: TruthTable, selected: tuple[str, ...]) -> None:
+        self.n = tt.n
+        self.count = tt.count_ones()
+        self.selected = selected
+        need = set(selected)
+        self.cof1 = chars.cofactor_counts_1ary(tt) if "ocv1" in need else None
+        self.cof2 = chars.cofactor_counts(tt, 2) if "ocv2" in need else None
+        self.cof3 = chars.cofactor_counts(tt, 3) if "ocv3" in need else None
+        self.oiv = (
+            tuple(sorted(chars.influences(tt))) if "oiv" in need else None
+        )
+        if need & {"osv", "osv_full", "osdv", "osdv_full"}:
+            self.profile = chars.sensitivity_profile(tt)
+            self.ones = tt.bit_array().astype(bool)
+        else:
+            self.profile = None
+            self.ones = None
+        self.hist1 = self.hist0 = None
+        if "osv" in need:
+            self.hist1 = _hist(self.profile[self.ones], self.n)
+            self.hist0 = _hist(self.profile[~self.ones], self.n)
+        self.hist_full = (
+            _hist(self.profile, self.n) if "osv_full" in need else None
+        )
+        self.osdv1 = self.osdv0 = None
+        if "osdv" in need:
+            self.osdv1 = self._osdv_for(self.ones)
+            self.osdv0 = self._osdv_for(~self.ones)
+        self.osdv_full = (
+            self._osdv_for(np.ones(1 << self.n, dtype=bool))
+            if "osdv_full" in need
+            else None
+        )
+        if "spectral" in need:
+            from repro.spectral.signatures import spectral_signature
+
+            self.spectral = spectral_signature(tt)
+        else:
+            self.spectral = None
+
+    def _osdv_for(self, keep: np.ndarray) -> tuple[int, ...]:
+        buckets = [
+            ((self.profile == level) & keep).astype(np.int64)
+            for level in range(self.n + 1)
+        ]
+        return _osdv_from_buckets(buckets, self.n)
+
+    def key_for_phase(self, phase: int) -> tuple:
+        """The concatenated key for output polarity ``phase``.
+
+        ``phase = 1`` describes the complemented function; every part is
+        derived from the phase-0 raw pieces (see module docstring).
+        """
+        n = self.n
+        out = []
+        for name in self.selected:
+            if name == "c0":
+                value = self.count if phase == 0 else (1 << n) - self.count
+            elif name == "ocv1":
+                value = _sorted_cofactors(self.cof1, 1 << max(n - 1, 0), phase)
+            elif name == "ocv2":
+                value = _sorted_cofactors(self.cof2, 1 << max(n - 2, 0), phase)
+            elif name == "ocv3":
+                value = _sorted_cofactors(self.cof3, 1 << max(n - 3, 0), phase)
+            elif name == "oiv":
+                value = self.oiv
+            elif name == "osv":
+                value = (
+                    (self.hist1, self.hist0)
+                    if phase == 0
+                    else (self.hist0, self.hist1)
+                )
+            elif name == "osv_full":
+                value = self.hist_full
+            elif name == "osdv":
+                value = (
+                    (self.osdv1, self.osdv0)
+                    if phase == 0
+                    else (self.osdv0, self.osdv1)
+                )
+            elif name == "osdv_full":
+                value = self.osdv_full
+            else:  # spectral
+                value = self.spectral
+            out.append(value)
+        return tuple(out)
+
+
+def _hist(values: np.ndarray, n: int) -> tuple[int, ...]:
+    return tuple(np.bincount(values, minlength=n + 1).tolist())
+
+
+def _sorted_cofactors(
+    raw: tuple[int, ...], face_size: int, phase: int
+) -> tuple[int, ...]:
+    if phase == 0:
+        return tuple(sorted(raw))
+    return tuple(sorted(face_size - c for c in raw))

@@ -1,0 +1,161 @@
+"""Figs. 3-4 — the paper's discrimination and balance case studies.
+
+Fig. 3 shows two balanced, NPN-equivalent 4-variable functions whose
+``OSV0``/``OSV1`` vectors swap — the reason Theorem 3 splits the balanced
+case.  Fig. 4 shows two pairs of *non*-equivalent functions:
+
+* ``g1, g2`` share ``OCV1`` and ``OCV2`` but differ in ``OIV``;
+* ``h1, h2`` share ``OCV1``, ``OCV2`` and ``OIV`` but differ in ``OSV1``.
+
+The figures are drawings, but the paper prints every signature value, so
+the functions can be *reconstructed* by exhaustive search over all 65536
+4-variable functions.  These searches double as evidence for the paper's
+Section IV-A claim that the point characteristics strictly refine the
+face characteristics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core import signatures as sig
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "find_fig3_witness",
+    "find_fig4_g_witness",
+    "find_fig4_h_witness",
+    "run_fig34",
+]
+
+#: Signature values printed in the paper for the Fig. 3 / Fig. 4 functions.
+FIG3_OSV1 = (1, 1, 1, 1, 2, 2, 3, 3)
+FIG3_OSV0 = (0, 1, 2, 2, 2, 2, 2, 3)
+FIG4_G_OCV1 = (3, 4, 4, 4, 4, 4, 4, 5)
+FIG4_G_OCV2 = (1, 1, 1) + (2,) * 18 + (3, 3, 3)
+FIG4_G_OIV = {(6, 6, 6, 8), (2, 6, 6, 8)}
+FIG4_H_OCV1 = (2, 3, 3, 3, 4, 4, 4, 5)
+FIG4_H_OCV2 = (0,) + (1,) * 8 + (2,) * 11 + (3,) * 4
+FIG4_H_OIV = (3, 5, 5, 5)
+FIG4_H_OSV1 = {(2, 2, 2, 2, 3, 3, 4), (1, 2, 3, 3, 3, 3, 3)}
+
+
+def _search_4var(predicate: Callable[[TruthTable], bool], limit: int):
+    """All 4-variable functions satisfying a predicate (bounded)."""
+    found = []
+    for bits in range(1 << 16):
+        tt = TruthTable(4, bits)
+        if predicate(tt):
+            found.append(tt)
+            if len(found) >= limit:
+                break
+    return found
+
+
+def find_fig3_witness() -> TruthTable | None:
+    """A balanced 4-var function with the exact Fig. 3 OSV1/OSV0 values.
+
+    Its complement is NPN equivalent by construction and carries the
+    swapped vectors — precisely the phenomenon Fig. 3 illustrates.
+    """
+    matches = _search_4var(
+        lambda tt: tt.is_balanced
+        and sig.osv1(tt) == FIG3_OSV1
+        and sig.osv0(tt) == FIG3_OSV0,
+        limit=1,
+    )
+    return matches[0] if matches else None
+
+
+def find_fig4_g_witness() -> tuple[TruthTable, TruthTable] | None:
+    """``(g1, g2)``: equal OCV1/OCV2, different OIV, per the printed values."""
+    candidates = _search_4var(
+        lambda tt: sig.ocv1(tt) == FIG4_G_OCV1
+        and sig.oiv(tt) in FIG4_G_OIV
+        and sig.ocv2(tt) == FIG4_G_OCV2,
+        limit=4096,
+    )
+    by_oiv: dict[tuple, TruthTable] = {}
+    for tt in candidates:
+        by_oiv.setdefault(sig.oiv(tt), tt)
+        if len(by_oiv) == 2:
+            values = list(by_oiv.values())
+            return values[0], values[1]
+    return None
+
+
+def find_fig4_h_witness() -> tuple[TruthTable, TruthTable] | None:
+    """``(h1, h2)``: equal OCV1/OCV2/OIV, different OSV1."""
+    candidates = _search_4var(
+        lambda tt: sig.ocv1(tt) == FIG4_H_OCV1
+        and sig.oiv(tt) == FIG4_H_OIV
+        and sig.ocv2(tt) == FIG4_H_OCV2
+        and sig.osv1(tt) in FIG4_H_OSV1,
+        limit=4096,
+    )
+    by_osv: dict[tuple, TruthTable] = {}
+    for tt in candidates:
+        by_osv.setdefault(sig.osv1(tt), tt)
+        if len(by_osv) == 2:
+            values = list(by_osv.values())
+            return values[0], values[1]
+    return None
+
+
+def run_fig34() -> list[dict]:
+    """Reconstruct all three case studies and verify the paper's claims."""
+    from repro.baselines.matcher import are_npn_equivalent
+
+    rows = []
+
+    fig3 = find_fig3_witness()
+    if fig3 is not None:
+        complement = ~fig3
+        rows.append(
+            {
+                "case": "fig3",
+                "functions": (str(fig3), str(complement)),
+                "claim": "balanced equivalent pair swaps OSV0/OSV1",
+                "holds": (
+                    sig.osv1(complement) == sig.osv0(fig3)
+                    and sig.osv0(complement) == sig.osv1(fig3)
+                    and are_npn_equivalent(fig3, complement)
+                ),
+            }
+        )
+
+    g_pair = find_fig4_g_witness()
+    if g_pair is not None:
+        g1, g2 = g_pair
+        rows.append(
+            {
+                "case": "fig4-g",
+                "functions": (str(g1), str(g2)),
+                "claim": "OIV splits a pair OCV1/OCV2 cannot",
+                "holds": (
+                    sig.ocv1(g1) == sig.ocv1(g2)
+                    and sig.ocv2(g1) == sig.ocv2(g2)
+                    and sig.oiv(g1) != sig.oiv(g2)
+                    and not are_npn_equivalent(g1, g2)
+                ),
+            }
+        )
+
+    h_pair = find_fig4_h_witness()
+    if h_pair is not None:
+        h1, h2 = h_pair
+        rows.append(
+            {
+                "case": "fig4-h",
+                "functions": (str(h1), str(h2)),
+                "claim": "OSV splits a pair OCV1/OCV2/OIV cannot",
+                "holds": (
+                    sig.ocv1(h1) == sig.ocv1(h2)
+                    and sig.ocv2(h1) == sig.ocv2(h2)
+                    and sig.oiv(h1) == sig.oiv(h2)
+                    and sig.osv1(h1) != sig.osv1(h2)
+                    and not are_npn_equivalent(h1, h2)
+                ),
+            }
+        )
+    return rows

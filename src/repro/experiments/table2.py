@@ -1,0 +1,53 @@
+"""Table II — classification quality of each signature-vector combination.
+
+For every cut size ``n``, counts the classes produced by each MSV part
+selection and compares against the exact class count.  The paper's column
+set is reproduced verbatim; two structural properties must hold on any
+workload (and are asserted by the integration tests):
+
+* every column is <= the exact count (signatures never split orbits);
+* columns refine left to right as parts are added.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.exact import ExactClassifier
+from repro.core.classifier import FacePointClassifier
+from repro.core.truth_table import TruthTable
+from repro.experiments.workload_cache import benchmark_functions, scale_settings
+
+__all__ = ["COLUMNS", "run_table2", "table2_row"]
+
+#: The paper's Table II columns: label -> MSV part selection.
+COLUMNS: dict[str, tuple[str, ...]] = {
+    "OIV": ("oiv",),
+    "OCV1": ("c0", "ocv1"),
+    "OSV": ("osv",),
+    "OIV+OSV": ("oiv", "osv"),
+    "OCV1+OSV": ("c0", "ocv1", "osv"),
+    "OCV1+OCV2+OSV": ("c0", "ocv1", "ocv2", "osv"),
+    "OIV+OSV+OSDV": ("oiv", "osv", "osdv"),
+    "All": ("c0", "ocv1", "ocv2", "oiv", "osv", "osdv"),
+}
+
+
+def table2_row(n: int, tables: Sequence[TruthTable], exact: bool = True) -> dict:
+    """One Table II row for a pre-built function set."""
+    row: dict = {"n": n, "functions": len(tables)}
+    row["exact"] = (
+        ExactClassifier().count_classes(tables) if exact else None
+    )
+    for label, parts in COLUMNS.items():
+        row[label] = FacePointClassifier(parts).count_classes(tables)
+    return row
+
+
+def run_table2(scale: str | None = None, exact: bool = True) -> list[dict]:
+    """Regenerate Table II on the EPFL-like workload at the given scale."""
+    settings = scale_settings(scale)
+    functions = benchmark_functions(settings.name)
+    return [
+        table2_row(n, functions[n], exact=exact) for n in sorted(functions)
+    ]

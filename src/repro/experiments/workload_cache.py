@@ -1,0 +1,77 @@
+"""Shared benchmark-function extraction with in-process caching.
+
+Tables II and III run over the same per-``n`` function sets; extracting
+them once per process keeps the bench suite fast.  The scale knob mirrors
+the reproduction policy in DESIGN.md: ``small`` (default) keeps pure
+Python runtimes in seconds-to-minutes; ``paper`` removes the caps and
+grows the circuits for a full-fidelity run (set the environment variable
+``REPRO_BENCH_SCALE=paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.truth_table import TruthTable
+from repro.workloads.epfl import epfl_like_suite
+from repro.workloads.extraction import extract_cut_functions
+
+__all__ = ["ScaleSettings", "scale_settings", "benchmark_functions"]
+
+
+@dataclass(frozen=True)
+class ScaleSettings:
+    """Knobs resolved from a scale name."""
+
+    name: str
+    suite_scale: int
+    sizes: tuple[int, ...]
+    limit_per_size: int | None
+    max_cuts: int
+    fig5_counts: tuple[int, ...]
+    kitty_max_n: int
+    kitty_limit: int
+
+
+_PRESETS = {
+    "smoke": ScaleSettings("smoke", 1, (4, 5, 6), 300, 8, (200, 400, 800), 4, 60),
+    "small": ScaleSettings(
+        "small", 1, (4, 5, 6, 7, 8), 4000, 12, (1000, 2000, 4000, 8000), 5, 300
+    ),
+    "paper": ScaleSettings(
+        "paper",
+        3,
+        (4, 5, 6, 7, 8, 9, 10),
+        None,
+        16,
+        (100_000, 500_000, 1_000_000, 1_500_000, 2_000_000, 2_500_000),
+        6,
+        20_000,
+    ),
+}
+
+
+def scale_settings(name: str | None = None) -> ScaleSettings:
+    """Resolve a scale by name, or from ``REPRO_BENCH_SCALE`` (default small)."""
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ValueError(f"unknown scale {name!r}; known: {known}") from None
+
+
+@lru_cache(maxsize=4)
+def benchmark_functions(scale_name: str) -> dict[int, list[TruthTable]]:
+    """The per-``n`` EPFL-like cut-function sets for a scale (cached)."""
+    settings = scale_settings(scale_name)
+    suite = epfl_like_suite(scale=settings.suite_scale)
+    return extract_cut_functions(
+        suite.values(),
+        sizes=settings.sizes,
+        max_cuts=settings.max_cuts,
+        limit_per_size=settings.limit_per_size,
+    )

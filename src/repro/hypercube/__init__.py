@@ -1,0 +1,25 @@
+"""Hypercube view of Boolean functions (paper Figs. 1-4).
+
+A Boolean function is the induced subgraph of the hypercube ``Q_n`` on its
+1-minterms; NPN equivalence corresponds to hypercube automorphisms mapping
+one 1-set onto the other 1-set (or, with output negation, onto the 0-set).
+This package provides that graph view as an independent cross-validation
+substrate and as the geometric language (faces, points, neighbourhoods)
+the paper's characteristics are defined in.
+"""
+
+from repro.hypercube.graph import (
+    hypercube_graph,
+    induced_subgraph,
+    npn_equivalent_by_automorphism,
+)
+from repro.hypercube.faces import face_minterms, face_count, subcube_faces
+
+__all__ = [
+    "hypercube_graph",
+    "induced_subgraph",
+    "npn_equivalent_by_automorphism",
+    "face_minterms",
+    "face_count",
+    "subcube_faces",
+]

@@ -1,0 +1,59 @@
+"""Faces (subcubes) of the hypercube — the geometry behind cofactors.
+
+A face of ``Q_n`` fixes a subset of coordinates; the cofactor
+``f|_{x_S = v}`` lives on exactly one face, and its satisfy count is the
+number of 1-minterms on that face (paper Section II-B).  These helpers
+make that correspondence executable; the signature tests use them to
+validate the cofactor machinery geometrically.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.truth_table import TruthTable
+
+__all__ = ["face_minterms", "face_count", "subcube_faces", "opposite_face"]
+
+
+def face_minterms(n: int, fixed: dict[int, int]) -> list[int]:
+    """Minterm indices of the face fixing variable ``i`` to ``fixed[i]``."""
+    for i, v in fixed.items():
+        if not 0 <= i < n:
+            raise ValueError(f"variable {i} out of range for n={n}")
+        if v not in (0, 1):
+            raise ValueError(f"fixed value for x{i} must be 0 or 1")
+    free = [i for i in range(n) if i not in fixed]
+    base = sum(v << i for i, v in fixed.items())
+    minterms = []
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        m = base
+        for i, bit in zip(free, bits):
+            m |= bit << i
+        minterms.append(m)
+    return sorted(minterms)
+
+
+def face_count(tt: TruthTable, fixed: dict[int, int]) -> int:
+    """Number of 1-minterms on a face == the matching cofactor count."""
+    return sum(tt.evaluate(m) for m in face_minterms(tt.n, fixed))
+
+
+def subcube_faces(n: int, codim: int):
+    """Yield every codimension-``codim`` face as a ``fixed`` dict."""
+    for subset in itertools.combinations(range(n), codim):
+        for values in itertools.product((0, 1), repeat=codim):
+            yield dict(zip(subset, values))
+
+
+def opposite_face(fixed: dict[int, int], variable: int) -> dict[int, int]:
+    """The face with ``variable``'s fixed value complemented.
+
+    Influence measures the disagreement between a face and its opposite
+    (paper Section II-D / Fig. 2d).
+    """
+    if variable not in fixed:
+        raise ValueError(f"variable {variable} is not fixed by this face")
+    flipped = dict(fixed)
+    flipped[variable] ^= 1
+    return flipped

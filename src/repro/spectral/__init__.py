@@ -1,0 +1,15 @@
+"""Spectral substrate: fast Walsh-Hadamard transform and spectral signatures."""
+
+from repro.spectral.walsh import (
+    fwht,
+    pair_distance_histogram,
+    walsh_spectrum,
+    xor_autocorrelation,
+)
+
+__all__ = [
+    "fwht",
+    "walsh_spectrum",
+    "xor_autocorrelation",
+    "pair_distance_histogram",
+]

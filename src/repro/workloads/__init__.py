@@ -1,0 +1,19 @@
+"""Workload generation: benchmark circuits, extraction, random function sets."""
+
+from repro.workloads.epfl import epfl_like_suite, suite_summary
+from repro.workloads.extraction import extract_cut_functions, extraction_report
+from repro.workloads.random_functions import (
+    consecutive_tables,
+    random_tables,
+    seeded_equivalent_tables,
+)
+
+__all__ = [
+    "epfl_like_suite",
+    "suite_summary",
+    "extract_cut_functions",
+    "extraction_report",
+    "random_tables",
+    "consecutive_tables",
+    "seeded_equivalent_tables",
+]

@@ -1,0 +1,88 @@
+"""EPFL-like benchmark suite (substitution for the EPFL files, see DESIGN.md).
+
+The paper extracts its function sets from the EPFL combinational suite.
+Those files are not available offline, so this module assembles the same
+*kind* of suite programmatically from :mod:`repro.aig.builders`: an
+arithmetic family (carry chains, products, shift networks, comparators)
+and a random/control family (one-hot control, priority logic, arbitration,
+voting, unstructured random logic).  Sizes are parameterised by a scale
+factor so the benches can trade fidelity against pure-Python runtime.
+"""
+
+from __future__ import annotations
+
+from repro.aig import builders
+from repro.aig.network import AIG
+
+__all__ = ["epfl_like_suite", "suite_summary", "ARITHMETIC", "CONTROL"]
+
+ARITHMETIC = "arithmetic"
+CONTROL = "random_control"
+
+
+def epfl_like_suite(scale: int = 1) -> dict[str, AIG]:
+    """Build the full suite; ``scale`` in {1, 2, 3} grows circuit widths.
+
+    Returns a name -> AIG mapping covering both EPFL categories.  The
+    names mirror the EPFL suite's where a direct analogue exists.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    s = scale
+    circuits = {
+        # -- arithmetic family -----------------------------------------
+        "adder": builders.ripple_adder(16 * s),
+        "cla": builders.carry_lookahead_adder(12 * s),
+        "multiplier": builders.multiplier(6 + 2 * s),
+        "square": builders.square(6 + 2 * s),
+        "barrel_shifter": builders.barrel_shifter(16 * (1 << (s - 1))),
+        "max": builders.max_unit(12 * s),
+        "comparator": builders.comparator(16 * s),
+        "subtractor": builders.subtractor(14 * s),
+        "div": builders.divider(5 + 2 * s),
+        "sqrt": builders.int_sqrt(10 * s),
+        # -- random/control family -------------------------------------
+        "priority": builders.priority_encoder(16 * s),
+        "dec": builders.decoder(4 + (s - 1)),
+        "arbiter": builders.round_robin_arbiter(6 + 2 * s),
+        "voter": builders.majority_voter(9 + 2 * ((s - 1) * 2)),
+        "parity": builders.parity(16 * s),
+        "ctrl": builders.random_control(12, 260 * s, seed=101),
+        "i2c_like": builders.random_control(14, 420 * s, seed=202),
+        "router_like": builders.random_control(10, 180 * s, seed=303),
+    }
+    return circuits
+
+
+def category_of(name: str) -> str:
+    """EPFL category of a suite member."""
+    arithmetic = {
+        "adder",
+        "cla",
+        "multiplier",
+        "square",
+        "barrel_shifter",
+        "max",
+        "comparator",
+        "subtractor",
+        "div",
+        "sqrt",
+    }
+    return ARITHMETIC if name in arithmetic else CONTROL
+
+
+def suite_summary(suite: dict[str, AIG]) -> list[dict]:
+    """Per-circuit statistics table (name, category, I/O, ANDs, depth)."""
+    rows = []
+    for name, aig in sorted(suite.items()):
+        rows.append(
+            {
+                "name": name,
+                "category": category_of(name),
+                "inputs": aig.num_inputs,
+                "outputs": aig.num_outputs,
+                "ands": aig.num_ands,
+                "depth": aig.depth(),
+            }
+        )
+    return rows

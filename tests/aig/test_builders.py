@@ -1,0 +1,219 @@
+"""Builders verified bit-for-bit against Python integer arithmetic."""
+
+import random
+
+import pytest
+
+from repro.aig import builders
+from repro.aig.simulate import simulate
+
+
+def drive(aig, values_by_prefix):
+    """Order input values according to the AIG's input names."""
+    inputs = []
+    for name in aig.input_names():
+        prefix = name.rstrip("0123456789")
+        index = int(name[len(prefix):])
+        inputs.append((values_by_prefix[prefix] >> index) & 1)
+    return simulate(aig, inputs)
+
+
+def word(bits):
+    return sum(b << k for k, b in enumerate(bits))
+
+
+class TestAdders:
+    @pytest.mark.parametrize("builder", [builders.ripple_adder, builders.carry_lookahead_adder])
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_exhaustive_small(self, builder, width):
+        aig = builder(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                out = drive(aig, {"a": a, "b": b})
+                assert word(out) == a + b
+
+    def test_random_wide(self):
+        rng = random.Random(0)
+        aig = builders.ripple_adder(12)
+        for _ in range(20):
+            a, b = rng.getrandbits(12), rng.getrandbits(12)
+            assert word(drive(aig, {"a": a, "b": b})) == a + b
+
+    def test_adders_agree(self):
+        rng = random.Random(1)
+        ripple = builders.ripple_adder(8)
+        cla = builders.carry_lookahead_adder(8)
+        for _ in range(20):
+            stimulus = {"a": rng.getrandbits(8), "b": rng.getrandbits(8)}
+            assert drive(ripple, stimulus) == drive(cla, stimulus)
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_exhaustive(self, width):
+        aig = builders.multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assert word(drive(aig, {"a": a, "b": b})) == a * b
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_square(self, width):
+        aig = builders.square(width)
+        for a in range(1 << width):
+            assert word(drive(aig, {"a": a})) == a * a
+
+
+class TestSubtractDivideSqrt:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_subtractor_exhaustive(self, width):
+        aig = builders.subtractor(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                out = drive(aig, {"a": a, "b": b})
+                diff, borrow = word(out[:-1]), out[-1]
+                assert diff == (a - b) % (1 << width)
+                assert borrow == int(a < b)
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_divider_exhaustive(self, width):
+        aig = builders.divider(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                out = drive(aig, {"a": a, "b": b})
+                q, r = word(out[:width]), word(out[width:])
+                if b == 0:
+                    # Restoring-hardware convention for division by zero.
+                    assert q == (1 << width) - 1
+                    assert r == a
+                else:
+                    assert (q, r) == divmod(a, b)
+
+    def test_divider_random_wide(self):
+        rng = random.Random(11)
+        width = 7
+        aig = builders.divider(width)
+        for _ in range(25):
+            a = rng.getrandbits(width)
+            b = rng.randrange(1, 1 << width)
+            out = drive(aig, {"a": a, "b": b})
+            assert (word(out[:width]), word(out[width:])) == divmod(a, b)
+
+    @pytest.mark.parametrize("width", [2, 4, 5, 6])
+    def test_int_sqrt_exhaustive(self, width):
+        import math
+
+        aig = builders.int_sqrt(width)
+        pairs = (width + 1) // 2
+        for a in range(1 << width):
+            out = drive(aig, {"a": a})
+            root = word(out[:pairs])
+            remainder = word(out[pairs:])
+            assert root == math.isqrt(a)
+            assert remainder == a - root * root
+
+
+class TestShifterAndCompare:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_barrel_rotate(self, width):
+        aig = builders.barrel_shifter(width)
+        rng = random.Random(width)
+        for _ in range(20):
+            data = rng.getrandbits(width)
+            shift = rng.randrange(width)
+            out = word(drive(aig, {"d": data, "s": shift}))
+            rotated = ((data << shift) | (data >> (width - shift))) & (
+                (1 << width) - 1
+            )
+            assert out == rotated
+
+    def test_barrel_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            builders.barrel_shifter(5)
+
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_comparator(self, width):
+        aig = builders.comparator(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                gt, eq = drive(aig, {"a": a, "b": b})
+                assert gt == int(a > b)
+                assert eq == int(a == b)
+
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_max_unit(self, width):
+        aig = builders.max_unit(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                assert word(drive(aig, {"a": a, "b": b})) == max(a, b)
+
+
+class TestControlBlocks:
+    @pytest.mark.parametrize("width", [1, 4, 6])
+    def test_priority_encoder(self, width):
+        aig = builders.priority_encoder(width)
+        for r in range(1 << width):
+            out = drive(aig, {"r": r})
+            grants, any_bit = out[:-1], out[-1]
+            assert any_bit == int(r != 0)
+            if r:
+                winner = (r & -r).bit_length() - 1
+                assert grants == [int(k == winner) for k in range(width)]
+            else:
+                assert grants == [0] * width
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_decoder(self, bits):
+        aig = builders.decoder(bits)
+        for s in range(1 << bits):
+            out = drive(aig, {"s": s})
+            assert out == [int(v == s) for v in range(1 << bits)]
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_round_robin_arbiter(self, width):
+        aig = builders.round_robin_arbiter(width)
+        for r in range(1 << width):
+            for pointer_slot in range(width):
+                out = drive(aig, {"r": r, "p": 1 << pointer_slot})
+                expected = [0] * width
+                for offset in range(width):
+                    k = (pointer_slot + offset) % width
+                    if (r >> k) & 1:
+                        expected[k] = 1
+                        break
+                assert out == expected
+
+    @pytest.mark.parametrize("inputs", [3, 5, 7])
+    def test_majority_voter(self, inputs):
+        aig = builders.majority_voter(inputs)
+        for v in range(1 << inputs):
+            expected = int(bin(v).count("1") > inputs // 2)
+            assert drive(aig, {"v": v}) == [expected]
+
+    def test_voter_rejects_even(self):
+        with pytest.raises(ValueError):
+            builders.majority_voter(4)
+
+    @pytest.mark.parametrize("inputs", [1, 4, 9])
+    def test_parity(self, inputs):
+        aig = builders.parity(inputs)
+        for v in range(1 << inputs):
+            assert drive(aig, {"x": v}) == [bin(v).count("1") % 2]
+
+    def test_random_control_deterministic(self):
+        a = builders.random_control(6, 40, seed=7)
+        b = builders.random_control(6, 40, seed=7)
+        assert a.num_ands == b.num_ands
+        rng = random.Random(0)
+        for _ in range(10):
+            stimulus = [rng.getrandbits(1) for _ in range(6)]
+            assert simulate(a, stimulus) == simulate(b, stimulus)
+
+    def test_random_control_seeds_differ(self):
+        a = builders.random_control(6, 40, seed=1)
+        b = builders.random_control(6, 40, seed=2)
+        rng = random.Random(3)
+        same = all(
+            simulate(a, stim) == simulate(b, stim)
+            for stim in ([rng.getrandbits(1) for _ in range(6)] for _ in range(20))
+        )
+        assert not same or a.num_ands != b.num_ands

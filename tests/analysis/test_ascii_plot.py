@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [1, 2, 3, 4],
+            {"ours": [0.1, 0.2, 0.3, 0.4], "baseline": [0.1, 0.3, 0.2, 0.8]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o ours" in chart
+        assert "x baseline" in chart
+        assert "o" in chart.splitlines()[-1] or "o" in chart
+
+    def test_markers_placed_monotone_series(self):
+        chart = ascii_chart([0, 10], {"linear": [0.0, 1.0]}, width=20, height=5)
+        lines = chart.splitlines()
+        # Max y label on first plotted row, min y label near the bottom.
+        assert lines[0].strip().startswith("1")
+        assert any("0" in line for line in lines[-3:])
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [5, 5, 5]})
+        assert "flat" in chart
+
+    def test_empty_input(self):
+        assert ascii_chart([], {}) == "(no data)"
+        assert ascii_chart([1], {}) == "(no data)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"bad": [1]})
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            [1, 2],
+            {"a": [1, 2], "b": [2, 1], "c": [1, 1]},
+        )
+        assert "o a" in chart and "x b" in chart and "+ c" in chart
+
+
+class TestCliIntegration:
+    def test_canonical_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["canonical", "11101000"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical:" in out
+        assert "witness:" in out
+
+    def test_match_command_positive(self, capsys):
+        from repro.cli import main
+
+        assert main(["match", "11101000", "00010111"]) == 0
+        assert "NPN equivalent" in capsys.readouterr().out
+
+    def test_match_command_negative(self, capsys):
+        from repro.cli import main
+
+        assert main(["match", "11101000", "01101001"]) == 1
+        assert "NOT" in capsys.readouterr().out

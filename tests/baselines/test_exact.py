@@ -1,0 +1,67 @@
+"""Tests for the bucketed exact classifier."""
+
+import random
+
+import pytest
+
+from repro.baselines.exact import ExactClassifier
+from repro.baselines.exact_enum import ExactEnumerationClassifier
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+
+
+class TestExactClassifier:
+    def test_known_counts_small(self):
+        for n, expected in ((1, 2), (2, 4), (3, 14)):
+            tables = [TruthTable(n, b) for b in range(1 << (1 << n))]
+            assert ExactClassifier().count_classes(tables) == expected
+
+    @pytest.mark.slow
+    def test_known_count_n4(self):
+        tables = (TruthTable(4, b) for b in range(1 << 16))
+        assert ExactClassifier().count_classes(tables) == 222
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_agrees_with_enumeration_on_random_sets(self, n):
+        rng = random.Random(n)
+        tables = [TruthTable.random(n, rng) for _ in range(60)]
+        # Seed some deliberate equivalences.
+        tables += [t.apply(random_transform(n, rng)) for t in tables[:20]]
+        exact = ExactClassifier().count_classes(tables)
+        enum = ExactEnumerationClassifier().count_classes(tables)
+        assert exact == enum
+
+    def test_orbit_collapses(self):
+        rng = random.Random(3)
+        tt = TruthTable.random(5, rng)
+        orbit_sample = [tt.apply(random_transform(5, rng)) for _ in range(30)]
+        result = ExactClassifier().classify([tt, *orbit_sample])
+        assert result.num_classes == 1
+        assert result.num_functions == 31
+
+    def test_stats_populated(self):
+        clf = ExactClassifier()
+        rng = random.Random(4)
+        tables = [TruthTable.random(4, rng) for _ in range(50)]
+        tables += [t.apply(random_transform(4, rng)) for t in tables[:10]]
+        clf.classify(tables)
+        assert clf.stats.functions == 60
+        assert clf.stats.buckets <= 60
+        assert clf.stats.match_successes >= 10
+
+    def test_weak_bucket_parts_stay_exact(self):
+        """Bucketing by a weak invariant shifts work to the matcher only."""
+        rng = random.Random(5)
+        tables = [TruthTable.random(4, rng) for _ in range(80)]
+        weak = ExactClassifier(bucket_parts=["oiv"]).count_classes(tables)
+        strong = ExactClassifier().count_classes(tables)
+        assert weak == strong
+
+    def test_bucket_collision_instrumentation(self):
+        """With a weak bucket key, collisions are detected and resolved."""
+        clf = ExactClassifier(bucket_parts=["c0"])
+        maj = TruthTable.majority(3)
+        xor3 = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+        result = clf.classify([maj, xor3])  # same |f| = 4, not equivalent
+        assert result.num_classes == 2
+        assert clf.stats.bucket_collisions == 1

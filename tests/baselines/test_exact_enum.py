@@ -1,0 +1,96 @@
+"""Tests for exhaustive exact NPN canonicalisation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact_enum import (
+    ExactEnumerationClassifier,
+    exact_npn_canonical,
+    exact_npn_canonical_reference,
+)
+from repro.core.transforms import all_transforms, random_transform
+from repro.core.truth_table import TruthTable
+
+
+class TestCanonicalForm:
+    @pytest.mark.parametrize("n", range(1, 4))
+    def test_matches_brute_force_oracle(self, n):
+        rng = random.Random(n * 5)
+        for _ in range(15):
+            tt = TruthTable.random(n, rng)
+            form = exact_npn_canonical(tt)
+            assert form.representative == exact_npn_canonical_reference(tt)
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_transform_witnesses_canonical(self, n):
+        rng = random.Random(n * 9)
+        for _ in range(15):
+            tt = TruthTable.random(n, rng)
+            form = exact_npn_canonical(tt)
+            assert form.verify(tt)
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_constant_on_orbit(self, n):
+        """Every member of an orbit canonicalises identically."""
+        rng = random.Random(n * 13)
+        tt = TruthTable.random(n, rng)
+        reference = exact_npn_canonical(tt).representative
+        for _ in range(10):
+            image = tt.apply(random_transform(n, rng))
+            assert exact_npn_canonical(image).representative == reference
+
+    def test_canonical_is_orbit_minimum(self):
+        rng = random.Random(21)
+        tt = TruthTable.random(3, rng)
+        rep = exact_npn_canonical(tt).representative
+        orbit = {tt.apply(t) for t in all_transforms(3)}
+        assert rep == min(orbit)
+        assert rep in orbit
+
+    def test_nullary(self):
+        form = exact_npn_canonical(TruthTable(0, 1))
+        assert form.representative == TruthTable(0, 0)
+        assert form.verify(TruthTable(0, 1))
+
+    def test_known_representatives(self):
+        # AND2's orbit minimum is 0x1 (single minterm at 00 after negations).
+        and2 = TruthTable.from_binary("1000")
+        assert exact_npn_canonical(and2).representative.bits == 0b0001
+        # XOR2's orbit is {0110, 1001}; the minimum is 0110.
+        xor2 = TruthTable.from_binary("0110")
+        assert exact_npn_canonical(xor2).representative.bits == 0b0110
+
+
+class TestExactClassCounts:
+    """Known total NPN class counts: 2, 4, 14, 222 for n = 1..4."""
+
+    def test_n1(self):
+        tables = [TruthTable(1, b) for b in range(4)]
+        assert ExactEnumerationClassifier().count_classes(tables) == 2
+
+    def test_n2(self):
+        tables = [TruthTable(2, b) for b in range(16)]
+        assert ExactEnumerationClassifier().count_classes(tables) == 4
+
+    def test_n3(self):
+        tables = [TruthTable(3, b) for b in range(256)]
+        assert ExactEnumerationClassifier().count_classes(tables) == 14
+
+    @pytest.mark.slow
+    def test_n4(self):
+        tables = (TruthTable(4, b) for b in range(1 << 16))
+        assert ExactEnumerationClassifier().count_classes(tables) == 222
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.randoms(use_true_random=False))
+def test_property_orbit_invariance(n, rng):
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    image = tt.apply(random_transform(n, rng))
+    assert (
+        exact_npn_canonical(tt).representative
+        == exact_npn_canonical(image).representative
+    )

@@ -1,0 +1,125 @@
+"""Tests for the signature-guided exact canonicaliser (paper future work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactClassifier
+from repro.baselines.exact_enum import ExactEnumerationClassifier
+from repro.baselines.guided import (
+    GuidedExactClassifier,
+    guided_exact_canonical,
+    search_space_size,
+)
+from repro.baselines.matcher import are_npn_equivalent
+from repro.core.transforms import group_order, random_transform
+from repro.core.truth_table import TruthTable
+
+
+class TestExactness:
+    def test_known_class_counts(self):
+        for n, expected in ((1, 2), (2, 4), (3, 14)):
+            tables = [TruthTable(n, b) for b in range(1 << (1 << n))]
+            assert GuidedExactClassifier().count_classes(tables) == expected
+
+    @pytest.mark.slow
+    def test_known_class_count_n4(self):
+        tables = (TruthTable(4, b) for b in range(1 << 16))
+        assert GuidedExactClassifier().count_classes(tables) == 222
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_orbit_invariance(self, n):
+        rng = random.Random(n * 11)
+        for _ in range(12):
+            tt = TruthTable.random(n, rng)
+            reference = guided_exact_canonical(tt)
+            for _ in range(5):
+                image = tt.apply(random_transform(n, rng))
+                assert guided_exact_canonical(image) == reference
+
+    def test_canonical_is_orbit_member(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            tt = TruthTable.random(4, rng)
+            assert are_npn_equivalent(tt, guided_exact_canonical(tt))
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_agrees_with_exact_engine(self, n):
+        rng = random.Random(n * 29)
+        tables = [TruthTable.random(n, rng) for _ in range(80)]
+        tables += [t.apply(random_transform(n, rng)) for t in tables[:30]]
+        assert GuidedExactClassifier().count_classes(tables) == (
+            ExactClassifier().count_classes(tables)
+        )
+
+    def test_completeness_on_nonequivalent_pairs(self):
+        rng = random.Random(17)
+        for _ in range(25):
+            a = TruthTable.random(4, rng)
+            b = TruthTable.random(4, rng)
+            same_canon = guided_exact_canonical(a) == guided_exact_canonical(b)
+            assert same_canon == are_npn_equivalent(a, b)
+
+
+class TestHardCases:
+    def test_constants(self):
+        zero = TruthTable.constant(4, 0)
+        one = TruthTable.constant(4, 1)
+        assert guided_exact_canonical(zero) == guided_exact_canonical(one)
+        assert guided_exact_canonical(TruthTable(0, 1)) == TruthTable(0, 0)
+
+    def test_fully_symmetric_functions_are_cheap(self):
+        """Symmetric tie blocks collapse: MAJ5 needs a tiny search."""
+        maj5 = TruthTable.majority(5)
+        assert search_space_size(maj5) <= 8
+        assert guided_exact_canonical(maj5) == guided_exact_canonical(
+            maj5.permute((4, 2, 0, 3, 1))
+        )
+
+    def test_xor_all_phases_undecided(self):
+        """XOR ties every cofactor count; the search stays exact anyway."""
+        xor4 = TruthTable.from_function(4, lambda *x: x[0] ^ x[1] ^ x[2] ^ x[3])
+        rng = random.Random(5)
+        reference = guided_exact_canonical(xor4)
+        for _ in range(5):
+            assert guided_exact_canonical(xor4.apply(random_transform(4, rng))) == (
+                reference
+            )
+
+    def test_bent_function(self):
+        bent = TruthTable.from_function(4, lambda a, b, c, d: (a & b) ^ (c & d))
+        rng = random.Random(6)
+        reference = guided_exact_canonical(bent)
+        for _ in range(5):
+            assert guided_exact_canonical(bent.apply(random_transform(4, rng))) == (
+                reference
+            )
+
+
+class TestSearchSpace:
+    def test_much_smaller_than_kitty(self):
+        rng = random.Random(7)
+        sizes = [
+            search_space_size(TruthTable.random(6, rng)) for _ in range(50)
+        ]
+        # Random functions have near-unique variable keys: tiny searches.
+        assert max(sizes) < group_order(6) // 100
+        assert sum(sizes) / len(sizes) < 64
+
+    def test_search_space_positive(self):
+        assert search_space_size(TruthTable(0, 1)) == 1
+        assert search_space_size(TruthTable.constant(3, 0)) >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.randoms(use_true_random=False))
+def test_property_guided_matches_enumeration_equivalence(n, rng):
+    """guided(f) == guided(g) exactly when the enumeration engine agrees."""
+    a = TruthTable(n, rng.getrandbits(1 << n))
+    b = TruthTable(n, rng.getrandbits(1 << n))
+    enumeration = ExactEnumerationClassifier()
+    assert (guided_exact_canonical(a) == guided_exact_canonical(b)) == (
+        enumeration.key(a) == enumeration.key(b)
+    )

@@ -1,0 +1,144 @@
+"""Tests for the signature-pruned pairwise NPN matcher."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.baselines.matcher import (
+    are_npn_equivalent,
+    find_npn_transform,
+    variable_keys,
+)
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+
+
+class TestPositiveMatches:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_finds_transform_for_equivalent_pairs(self, n):
+        rng = random.Random(n * 3)
+        for _ in range(15):
+            tt = TruthTable.random(n, rng)
+            expected = random_transform(n, rng)
+            image = tt.apply(expected)
+            found = find_npn_transform(tt, image)
+            assert found is not None
+            assert tt.apply(found) == image
+
+    def test_identity_match(self):
+        tt = TruthTable.majority(3)
+        found = find_npn_transform(tt, tt)
+        assert found is not None
+        assert tt.apply(found) == tt
+
+    def test_output_negation_match(self):
+        tt = TruthTable.from_function(4, lambda a, b, c, d: a & b & (c | d))
+        found = find_npn_transform(tt, ~tt)
+        assert found is not None
+        assert found.output_phase == 1
+
+    def test_symmetric_function_matches_fast(self):
+        # Fully symmetric: the very first consistent branch succeeds.
+        maj5 = TruthTable.majority(5)
+        image = maj5.apply(random_transform(5, random.Random(1)))
+        assert are_npn_equivalent(maj5, image)
+
+    def test_nullary(self):
+        zero, one = TruthTable(0, 0), TruthTable(0, 1)
+        assert are_npn_equivalent(zero, one)
+        transform = find_npn_transform(zero, one)
+        assert zero.apply(transform) == one
+
+
+class TestNegativeMatches:
+    def test_arity_mismatch(self):
+        assert find_npn_transform(TruthTable(2, 6), TruthTable(3, 6)) is None
+
+    def test_count_mismatch(self):
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        maj3 = TruthTable.majority(3)
+        assert not are_npn_equivalent(and3, maj3)
+
+    def test_same_count_nonequivalent(self):
+        # x0 ^ x1 ^ x2 vs majority: both balanced, not equivalent.
+        xor3 = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+        assert not are_npn_equivalent(xor3, TruthTable.majority(3))
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_agrees_with_enumeration(self, n):
+        """Matcher verdict == canonical-form verdict on random pairs."""
+        rng = random.Random(n * 17)
+        for _ in range(30):
+            a = TruthTable.random(n, rng)
+            b = TruthTable.random(n, rng)
+            expected = (
+                exact_npn_canonical(a).representative
+                == exact_npn_canonical(b).representative
+            )
+            assert are_npn_equivalent(a, b) == expected
+
+    def test_hard_near_symmetric_pair(self):
+        # Same satisfy count and similar structure; must still be split.
+        f = TruthTable.from_function(4, lambda a, b, c, d: (a & b) | (c & d))
+        g = TruthTable.from_function(4, lambda a, b, c, d: (a & b) | (b & c) | (a & d))
+        expected = (
+            exact_npn_canonical(f).representative
+            == exact_npn_canonical(g).representative
+        )
+        assert are_npn_equivalent(f, g) == expected
+
+
+class TestVariableKeys:
+    def test_symmetric_variables_share_keys(self):
+        maj = TruthTable.majority(3)
+        keys = variable_keys(maj)
+        assert len(set(keys)) == 1
+
+    def test_distinguishes_projection(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: (a & b) | c)
+        keys = variable_keys(tt)
+        assert keys[0] == keys[1]
+        assert keys[2] != keys[0]
+
+    def test_keys_invariant_under_np(self):
+        from repro.core.transforms import NPNTransform
+
+        rng = random.Random(7)
+        for _ in range(10):
+            tt = TruthTable.random(4, rng)
+            t = random_transform(4, rng)
+            pn_only = NPNTransform(t.perm, t.input_phase, 0)
+            image = tt.apply(pn_only)
+            assert sorted(variable_keys(tt)) == sorted(variable_keys(image))
+
+    def test_keys_not_output_invariant(self):
+        """Documented limitation: cofactor pairs complement under ~f."""
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        assert sorted(variable_keys(and3)) != sorted(variable_keys(~and3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+def test_property_matcher_completeness(n, rng):
+    """For a constructed equivalent pair the matcher always succeeds."""
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    image = tt.apply(random_transform(n, rng))
+    transform = find_npn_transform(tt, image)
+    assert transform is not None
+    assert tt.apply(transform) == image
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.randoms(use_true_random=False))
+def test_property_matcher_soundness_n3(rng):
+    """Matcher never claims equivalence the enumeration denies (n = 3)."""
+    a = TruthTable(3, rng.getrandbits(8))
+    b = TruthTable(3, rng.getrandbits(8))
+    expected = (
+        exact_npn_canonical(a).representative
+        == exact_npn_canonical(b).representative
+    )
+    assert are_npn_equivalent(a, b) == expected

@@ -1,0 +1,169 @@
+"""Tests for face/point characteristics (paper Definitions 1-5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import characteristics as chars
+from repro.core.truth_table import TruthTable
+
+MAJ3 = TruthTable.majority(3)  # paper f1
+PROJ3 = TruthTable.projection(3, 2)  # paper f3 (the x3 projection)
+
+
+class TestCofactorCounts:
+    def test_zero_ary_is_satisfy_count(self):
+        assert chars.cofactor_count(MAJ3, (), 0) == 4
+        assert chars.cofactor_counts(MAJ3, 0) == (4,)
+
+    def test_majority_one_ary(self):
+        # MAJ3 | xi=1 = OR(others) -> 3;  | xi=0 = AND(others) -> 1.
+        assert chars.cofactor_counts_1ary(MAJ3) == (1, 3, 1, 3, 1, 3)
+
+    def test_one_ary_agrees_with_generic(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            tt = TruthTable.random(5, rng)
+            generic = chars.cofactor_counts(tt, 1)
+            # Generic order: subsets lexicographic = (x0), (x1), ...; values 0,1.
+            assert generic == chars.cofactor_counts_1ary(tt)
+
+    def test_two_ary_counts_naive(self):
+        rng = random.Random(1)
+        tt = TruthTable.random(4, rng)
+        counts = chars.cofactor_counts(tt, 2)
+        assert len(counts) == 6 * 4
+        expected = []
+        for i in range(4):
+            for j in range(i + 1, 4):
+                for v in range(4):
+                    vi, vj = v & 1, (v >> 1) & 1
+                    total = sum(
+                        1
+                        for m in range(16)
+                        if tt.evaluate(m)
+                        and (m >> i) & 1 == vi
+                        and (m >> j) & 1 == vj
+                    )
+                    expected.append(total)
+        assert sorted(counts) == sorted(expected)
+
+    def test_full_arity_counts_are_bits(self):
+        rng = random.Random(2)
+        tt = TruthTable.random(3, rng)
+        counts = chars.cofactor_counts(tt, 3)
+        assert sorted(counts) == sorted(
+            tt.evaluate(m) for m in range(8)
+        )
+
+    def test_arity_edges(self):
+        assert chars.cofactor_counts(MAJ3, 4) == ()  # no 4-subsets of 3 vars
+        with pytest.raises(ValueError):
+            chars.cofactor_counts(MAJ3, -1)
+
+
+class TestSensitivity:
+    def test_is_sensitive_at_paper_example(self):
+        # Paper Section II-C: f1 is sensitive at x2 for the word 100.
+        # Word "100" in the paper is (x1, x2, x3) = (1, 0, 0) -> index 0b001.
+        assert chars.is_sensitive_at(MAJ3, 0b001, 1)
+
+    def test_local_sensitivity_majority(self):
+        # sen(f1, 111) = 0 and sen = 2 on the other 1-words.
+        assert chars.local_sensitivity(MAJ3, 0b111) == 0
+        for word in (0b011, 0b101, 0b110):
+            assert chars.local_sensitivity(MAJ3, word) == 2
+
+    def test_profile_matches_pointwise(self):
+        rng = random.Random(3)
+        for n in range(1, 6):
+            tt = TruthTable.random(n, rng)
+            profile = chars.sensitivity_profile(tt)
+            for m in range(1 << n):
+                assert profile[m] == chars.local_sensitivity(tt, m)
+
+    def test_global_sensitivity(self):
+        assert chars.sensitivity(MAJ3) == 2
+        assert chars.sensitivity(PROJ3) == 1
+        xor3 = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+        assert chars.sensitivity(xor3) == 3
+
+    def test_sensitivity01(self):
+        assert chars.sensitivity01(MAJ3) == (2, 2)
+        assert chars.sensitivity01(PROJ3) == (1, 1)
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        # The lone 1-word 111 has sensitivity 3; best 0-word has 1.
+        assert chars.sensitivity01(and3) == (1, 3)
+
+    def test_constant_sensitivity(self):
+        assert chars.sensitivity(TruthTable.constant(4, 0)) == 0
+        assert chars.sensitivity01(TruthTable.constant(4, 1)) == (0, 0)
+
+
+class TestInfluence:
+    def test_majority_influences(self):
+        # Each variable of MAJ3 is sensitive on 4 words -> integer inf 2.
+        assert chars.influences(MAJ3) == (2, 2, 2)
+
+    def test_projection_influences(self):
+        assert chars.influences(PROJ3) == (0, 0, 4)
+
+    def test_influence_fraction(self):
+        assert chars.influence_fraction(MAJ3, 0) == pytest.approx(0.5)
+        assert chars.influence_fraction(PROJ3, 2) == pytest.approx(1.0)
+        assert chars.influence_fraction(PROJ3, 0) == 0.0
+
+    def test_xor_has_maximal_influence(self):
+        xor4 = TruthTable.from_function(4, lambda *xs: xs[0] ^ xs[1] ^ xs[2] ^ xs[3])
+        assert chars.influences(xor4) == (8, 8, 8, 8)
+
+    def test_total_influence(self):
+        assert chars.total_influence(MAJ3) == 6
+        assert chars.total_influence(PROJ3) == 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.randoms(use_true_random=False))
+def test_property_influence_is_integer_halved(n, rng):
+    """Footnote 1: the raw sensitive-word count is always even."""
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    for i in range(n):
+        raw = sum(
+            1 for m in range(1 << n) if tt.evaluate(m) != tt.evaluate(m ^ (1 << i))
+        ) if n <= 5 else None
+        if raw is not None:
+            assert raw % 2 == 0
+            assert chars.influence(tt, i) == raw // 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.randoms(use_true_random=False))
+def test_property_total_influence_is_mean_sensitivity(n, rng):
+    """sum_i inf(f,i) * 2 == sum_X sen(f,X) — influence vs sensitivity link."""
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    assert 2 * chars.total_influence(tt) == int(chars.sensitivity_profile(tt).sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.randoms(use_true_random=False))
+def test_property_characteristics_survive_output_negation(n, rng):
+    """Sensitivity and influence ignore output polarity; cofactors complement."""
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    neg = ~tt
+    assert chars.influences(tt) == chars.influences(neg)
+    assert (chars.sensitivity_profile(tt) == chars.sensitivity_profile(neg)).all()
+    face = 1 << (n - 1)
+    ours = chars.cofactor_counts_1ary(tt)
+    theirs = chars.cofactor_counts_1ary(neg)
+    assert tuple(face - c for c in ours) == theirs
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.randoms(use_true_random=False))
+def test_property_sensitivity_bounded_by_support(n, rng):
+    """sen(f, X) never exceeds the essential-variable count."""
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    bound = len(tt.support())
+    assert chars.sensitivity(tt) <= bound

@@ -1,0 +1,96 @@
+"""Tests for NPN class-library utilities."""
+
+import pytest
+
+from repro.core.classes import (
+    KNOWN_CLASS_COUNTS,
+    class_distribution,
+    npn_class_representatives,
+    orbit,
+    orbit_size,
+    stabilizer_order,
+)
+from repro.core.transforms import group_order
+from repro.core.truth_table import TruthTable
+
+
+class TestOrbits:
+    def test_orbit_contains_function_and_complement(self):
+        maj = TruthTable.majority(3)
+        members = orbit(maj)
+        assert maj in members
+        assert ~maj in members
+
+    def test_orbit_size_known_values(self):
+        # XOR2's orbit is just {xor, xnor}.
+        xor2 = TruthTable.from_binary("0110")
+        assert orbit_size(xor2) == 2
+        # AND2: 8 and-like functions.
+        and2 = TruthTable.from_binary("1000")
+        assert orbit_size(and2) == 8
+        # Constants: {0, 1}.
+        assert orbit_size(TruthTable.constant(3, 0)) == 2
+
+    def test_orbit_size_divides_group_order(self):
+        import random
+
+        rng = random.Random(0)
+        for n in (2, 3, 4):
+            for _ in range(5):
+                tt = TruthTable.random(n, rng)
+                assert group_order(n) % orbit_size(tt) == 0
+
+    def test_stabilizer_order(self):
+        # XOR2 orbit 2, group order 16 -> stabiliser 8 (it is that symmetric).
+        xor2 = TruthTable.from_binary("0110")
+        assert stabilizer_order(xor2) == 8
+        maj = TruthTable.majority(3)
+        assert stabilizer_order(maj) * orbit_size(maj) == group_order(3)
+
+    def test_orbit_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            orbit(TruthTable.constant(6, 0))
+
+
+class TestRepresentatives:
+    def test_counts_match_known(self):
+        for n in (0, 1, 2, 3):
+            reps = npn_class_representatives(n)
+            assert len(reps) == KNOWN_CLASS_COUNTS[n]
+
+    @pytest.mark.slow
+    def test_count_n4(self):
+        assert len(npn_class_representatives(4)) == KNOWN_CLASS_COUNTS[4]
+
+    def test_representatives_are_canonical_fixpoints(self):
+        from repro.baselines.guided import guided_exact_canonical
+
+        for rep in npn_class_representatives(3):
+            assert guided_exact_canonical(rep) == rep
+
+    def test_orbits_partition_the_space(self):
+        """Sum of orbit sizes over representatives = all 2^2^n functions."""
+        total = sum(orbit_size(rep) for rep in npn_class_representatives(3))
+        assert total == 1 << (1 << 3)
+
+    def test_rejects_large_n(self):
+        with pytest.raises(ValueError):
+            npn_class_representatives(5)
+
+
+class TestDistribution:
+    def test_distribution_over_circuit_cuts(self):
+        from repro.aig.builders import ripple_adder
+        from repro.workloads.extraction import extract_cut_functions
+
+        cuts = extract_cut_functions(ripple_adder(6), sizes=[3])[3]
+        distribution = class_distribution(cuts)
+        assert sum(distribution.values()) == len(cuts)
+        # The adder's cone logic concentrates on few classes.
+        assert len(distribution) < len(cuts)
+
+    def test_distribution_counts_orbit_members_together(self):
+        maj = TruthTable.majority(3)
+        distribution = class_distribution([maj, ~maj, maj.flip_input(0)])
+        assert len(distribution) == 1
+        assert next(iter(distribution.values())) == 3

@@ -1,0 +1,160 @@
+"""Signature values of mathematically well-understood function families.
+
+Independent ground truth: for thresholds, parities, bent functions and
+read-once ANDs the characteristics have closed forms; these tests pin the
+implementation to the mathematics rather than to itself.
+"""
+
+from math import comb
+
+import pytest
+
+from repro.core import characteristics as chars
+from repro.core import signatures as sig
+from repro.core.msv import compute_msv
+from repro.core.truth_table import TruthTable
+
+
+def threshold(n, k):
+    """1 iff at least k inputs are set."""
+    return TruthTable.from_function(n, lambda *xs: int(sum(xs) >= k))
+
+
+def parity_fn(n):
+    return TruthTable.from_function(n, lambda *xs: sum(xs) % 2)
+
+
+class TestMajority:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_influence_closed_form(self, n):
+        """Each MAJ_n variable is sensitive exactly when the others split
+        evenly: 2 * C(n-1, (n-1)/2) words -> integer influence C(n-1, m)."""
+        maj = TruthTable.majority(n)
+        expected = comb(n - 1, (n - 1) // 2)
+        assert chars.influences(maj) == (expected,) * n
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_sensitivity_profile_structure(self, n):
+        """sen(MAJ, X) = (n+1)/2 on split-by-one words, else smaller."""
+        maj = TruthTable.majority(n)
+        assert chars.sensitivity(maj) == (n + 1) // 2
+        profile = chars.sensitivity_profile(maj)
+        for m in range(1 << n):
+            weight = bin(m).count("1")
+            if weight in ((n - 1) // 2, (n + 1) // 2):
+                assert profile[m] == (n + 1) // 2
+            else:
+                assert profile[m] == 0
+
+    def test_majority_satisfy_count(self):
+        maj5 = TruthTable.majority(5)
+        assert maj5.count_ones() == sum(comb(5, k) for k in (3, 4, 5))
+
+
+class TestParity:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_everything_maximally_sensitive(self, n):
+        xor = parity_fn(n)
+        assert chars.influences(xor) == (1 << (n - 1),) * n
+        assert sig.osv(xor) == (n,) * (1 << n)
+        assert chars.sensitivity01(xor) == (n, n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_all_cofactors_balanced(self, n):
+        """Restricting parity keeps it balanced at every arity below n."""
+        xor = parity_fn(n)
+        for ell in range(n):
+            face = 1 << (n - ell)
+            assert all(c == face // 2 for c in chars.cofactor_counts(xor, ell))
+
+    def test_parity_osdv_concentrated(self):
+        """All words share sensitivity n: one dense OSDV row."""
+        xor = parity_fn(3)
+        flat = sig.osdv(xor)
+        # sigma_3 = pairs of all 8 words by distance: (12, 12, 4).
+        assert flat[3 * 3 :] == (12, 12, 4)
+        assert all(v == 0 for v in flat[: 3 * 3])
+
+
+class TestThresholds:
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 4), (5, 2)])
+    def test_threshold_counts(self, n, k):
+        tt = threshold(n, k)
+        assert tt.count_ones() == sum(comb(n, j) for j in range(k, n + 1))
+
+    def test_and_influence(self):
+        """AND_n: each variable sensitive only on the two all-ones-ish
+        words -> integer influence 1."""
+        for n in (2, 3, 5):
+            and_n = threshold(n, n)
+            assert chars.influences(and_n) == (1,) * n
+
+    def test_and_or_equivalent(self):
+        """AND and OR are NPN equivalent (De Morgan): identical MSVs."""
+        for n in (2, 3, 4):
+            and_n = threshold(n, n)
+            or_n = threshold(n, 1)
+            assert compute_msv(and_n) == compute_msv(or_n)
+
+    def test_threshold_chain_distinct(self):
+        """Distinct thresholds of 5 inputs are NPN inequivalent...
+        except the complementary pairs k and n+1-k (by De Morgan)."""
+        msvs = [compute_msv(threshold(5, k)) for k in range(1, 6)]
+        assert msvs[0] == msvs[4]  # OR5 ~ AND5
+        assert msvs[1] == msvs[3]  # >=2 of 5 ~ >=4 of 5
+        assert len({msvs[0], msvs[1], msvs[2]}) == 3
+
+
+class TestBentFunctions:
+    def test_bent_average_sensitivity_is_half_max(self):
+        """Bent functions have average sensitivity exactly n/2: every
+        variable's influence is 2^(n-2), half the parity maximum."""
+        bent = TruthTable.from_function(4, lambda a, b, c, d: (a & b) ^ (c & d))
+        assert chars.influences(bent) == (4, 4, 4, 4)
+        assert chars.total_influence(bent) == 4 * (1 << 2)
+        # ... but the LOCAL sensitivity is not flat (unlike parity).
+        assert len(set(sig.osv(bent))) > 1
+
+    def test_two_bent_classes_distinguished(self):
+        """x0x1^x2x3 vs x0x1^x0x3^x2x3: same spectrum magnitudes, and the
+        face/point MSV also separates them iff they are inequivalent."""
+        from repro.baselines.matcher import are_npn_equivalent
+
+        b1 = TruthTable.from_function(4, lambda a, b, c, d: (a & b) ^ (c & d))
+        b2 = TruthTable.from_function(
+            4, lambda a, b, c, d: (a & b) ^ (a & d) ^ (c & d)
+        )
+        equivalent = are_npn_equivalent(b1, b2)
+        assert (compute_msv(b1) == compute_msv(b2)) == equivalent
+
+
+class TestOcv3Part:
+    def test_ocv3_invariance(self):
+        import random
+
+        from repro.core.transforms import random_transform
+
+        rng = random.Random(0)
+        for _ in range(15):
+            tt = TruthTable.random(5, rng)
+            image = tt.apply(random_transform(5, rng))
+            assert compute_msv(tt, ["ocv3"]) == compute_msv(image, ["ocv3"])
+
+    def test_ocv3_refines_ocv2(self):
+        import random
+
+        from repro.core.classifier import FacePointClassifier
+
+        rng = random.Random(1)
+        tables = [TruthTable.random(5, rng) for _ in range(300)]
+        two = FacePointClassifier(["c0", "ocv1", "ocv2"]).count_classes(tables)
+        three = FacePointClassifier(["c0", "ocv1", "ocv2", "ocv3"]).count_classes(
+            tables
+        )
+        assert three >= two
+
+    def test_ocv3_empty_below_arity(self):
+        tt = TruthTable.majority(3)  # n=3: C(3,3)*8 = 8 entries
+        assert len(compute_msv(tt, ["ocv3"]).key[0]) == 8
+        small = TruthTable.from_binary("0110")  # n=2: no 3-subsets
+        assert compute_msv(small, ["ocv3"]).key == ((),)

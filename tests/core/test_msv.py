@@ -1,0 +1,138 @@
+"""Tests for MSV assembly: canonicalisation, part selection, soundness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.msv import (
+    DEFAULT_PARTS,
+    PART_NAMES,
+    compute_msv,
+    normalize_parts,
+)
+from repro.core.transforms import all_transforms, random_transform
+from repro.core.truth_table import TruthTable
+
+
+class TestPartSelection:
+    def test_normalize_orders_canonically(self):
+        assert normalize_parts(["osv", "c0", "oiv"]) == ("c0", "oiv", "osv")
+
+    def test_normalize_dedupes(self):
+        assert normalize_parts(["oiv", "oiv"]) == ("oiv",)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            normalize_parts(["ocv9"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_parts([])
+
+    def test_all_names_accepted(self):
+        assert normalize_parts(PART_NAMES) == PART_NAMES
+
+    def test_key_length_tracks_parts(self):
+        tt = TruthTable.majority(3)
+        small = compute_msv(tt, ["oiv"])
+        full = compute_msv(tt, DEFAULT_PARTS)
+        assert len(small.key) == 1
+        assert len(full.key) == len(DEFAULT_PARTS)
+
+
+class TestCanonicalisation:
+    def test_output_negation_same_signature(self):
+        rng = random.Random(0)
+        for n in range(1, 7):
+            for _ in range(10):
+                tt = TruthTable.random(n, rng)
+                assert compute_msv(tt) == compute_msv(~tt)
+
+    def test_unbalanced_phase_is_minority(self):
+        # AND3 has |f| = 1 < 4: phase 0 key starts with satisfy count 1.
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        msv = compute_msv(and3, ["c0"])
+        assert msv.key == (1,)
+        assert compute_msv(~and3, ["c0"]).key == (1,)
+
+    def test_balanced_takes_lexicographic_min(self):
+        rng = random.Random(1)
+        balanced = [
+            tt
+            for tt in (TruthTable.random(4, rng) for _ in range(200))
+            if tt.is_balanced
+        ][:20]
+        for tt in balanced:
+            key = compute_msv(tt).key
+            assert key == compute_msv(~tt).key
+
+    def test_nullary_constants_merge(self):
+        """n=0 edge: TRUE and FALSE are NPN equivalent (output negation)."""
+        assert compute_msv(TruthTable(0, 0)) == compute_msv(TruthTable(0, 1))
+
+    def test_digest_is_stable_and_distinct(self):
+        maj = TruthTable.majority(3)
+        proj = TruthTable.projection(3, 0)
+        assert compute_msv(maj).digest() == compute_msv(maj).digest()
+        assert compute_msv(maj).digest() != compute_msv(proj).digest()
+
+    def test_spectral_part(self):
+        maj = TruthTable.majority(3)
+        msv = compute_msv(maj, ["spectral"])
+        # MAJ3 correlates (|W| = 4) exactly with the odd-weight parities.
+        assert msv.key == ((0, 0, 0, 0, 4, 4, 4, 4),)
+
+    def test_full_variants(self):
+        rng = random.Random(2)
+        tt = TruthTable.random(4, rng)
+        msv = compute_msv(tt, ["osv_full", "osdv_full"])
+        assert compute_msv(~tt, ["osv_full", "osdv_full"]) == msv
+
+
+class TestSoundness:
+    """The never-split invariant: NPN-equivalent functions share an MSV."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive_small_orbits(self, n):
+        rng = random.Random(n)
+        for _ in range(8):
+            tt = TruthTable.random(n, rng)
+            reference = compute_msv(tt)
+            for transform in all_transforms(n):
+                assert compute_msv(tt.apply(transform)) == reference
+
+    @pytest.mark.parametrize("parts", [["oiv"], ["osv"], ["c0", "ocv1"], ["osdv"]])
+    def test_part_subsets_are_invariants(self, parts):
+        rng = random.Random(hash(tuple(parts)) & 0xFFFF)
+        for n in range(2, 6):
+            for _ in range(10):
+                tt = TruthTable.random(n, rng)
+                image = tt.apply(random_transform(n, rng))
+                assert compute_msv(tt, parts) == compute_msv(image, parts)
+
+    def test_discrimination_examples(self):
+        # MAJ3 vs x-projection: different classes under every single part.
+        maj, proj = TruthTable.majority(3), TruthTable.projection(3, 0)
+        for parts in (["oiv"], ["osv"], ["c0", "ocv1"], ["osdv"]):
+            assert compute_msv(maj, parts) != compute_msv(proj, parts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+def test_property_msv_never_splits(n, rng):
+    tt = TruthTable(n, rng.getrandbits(1 << n))
+    image = tt.apply(random_transform(n, rng))
+    assert compute_msv(tt) == compute_msv(image)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.randoms(use_true_random=False))
+def test_property_subset_keys_refine(n, rng):
+    """Adding parts can only split classes, never merge them."""
+    a = TruthTable(n, rng.getrandbits(1 << n))
+    b = TruthTable(n, rng.getrandbits(1 << n))
+    if compute_msv(a) == compute_msv(b):
+        assert compute_msv(a, ["oiv"]) == compute_msv(b, ["oiv"])
+        assert compute_msv(a, ["osv"]) == compute_msv(b, ["osv"])

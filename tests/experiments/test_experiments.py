@@ -1,0 +1,172 @@
+"""Integration tests for the experiment drivers (smoke scale).
+
+These are the structural claims the paper's evaluation rests on; the
+benches then report magnitudes on bigger workloads.
+"""
+
+import pytest
+
+from repro.analysis.stats import refinement_holds
+from repro.experiments.fig34 import (
+    find_fig3_witness,
+    find_fig4_g_witness,
+    find_fig4_h_witness,
+    run_fig34,
+)
+from repro.experiments.fig5 import fig5_series
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import COLUMNS, table2_row
+from repro.experiments.table3 import table3_row
+from repro.experiments.workload_cache import (
+    benchmark_functions,
+    scale_settings,
+)
+from repro.workloads.random_functions import random_tables
+
+
+@pytest.fixture(scope="module")
+def smoke_functions():
+    return benchmark_functions("smoke")
+
+
+class TestScaleSettings:
+    def test_presets(self):
+        assert scale_settings("smoke").name == "smoke"
+        assert scale_settings("paper").limit_per_size is None
+        with pytest.raises(ValueError):
+            scale_settings("huge")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scale_settings(None).name == "small"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert scale_settings(None).name == "smoke"
+
+    def test_benchmark_functions_cached(self, smoke_functions):
+        again = benchmark_functions("smoke")
+        assert again is smoke_functions
+        assert set(smoke_functions) == set(scale_settings("smoke").sizes)
+
+
+class TestTable1:
+    def test_all_rows_match_paper(self):
+        rows = run_table1()
+        assert len(rows) == 8
+        assert all(row["matches_paper"] for row in rows)
+
+
+class TestTable2:
+    def test_row_structure_and_soundness(self, smoke_functions):
+        n = 4
+        row = table2_row(n, smoke_functions[n])
+        assert row["n"] == n
+        assert row["functions"] == len(smoke_functions[n])
+        for label in COLUMNS:
+            # Soundness: signature classes never exceed exact classes.
+            assert row[label] <= row["exact"], label
+
+    def test_refinement_chains(self, smoke_functions):
+        row = table2_row(5, smoke_functions[5])
+        assert refinement_holds([row["OIV"], row["OIV+OSV"], row["All"]])
+        assert refinement_holds(
+            [row["OCV1"], row["OCV1+OSV"], row["OCV1+OCV2+OSV"], row["All"]]
+        )
+        assert refinement_holds([row["OSV"], row["OIV+OSV"]])
+
+    def test_full_msv_near_exact(self, smoke_functions):
+        """Table II shape: 'All' lands within a whisker of exact."""
+        row = table2_row(4, smoke_functions[4])
+        assert row["All"] >= 0.98 * row["exact"]
+
+    def test_skipping_exact(self, smoke_functions):
+        row = table2_row(4, smoke_functions[4], exact=False)
+        assert row["exact"] is None
+
+
+class TestTable3:
+    def test_row_shape(self, smoke_functions):
+        row = table3_row(4, smoke_functions[4], kitty_max_n=4, kitty_limit=40)
+        assert row["kitty_functions"] == 40
+        assert row["kitty_classes"] is not None
+        for method in ("huang13", "petkovska16", "zhou20", "ours"):
+            assert row[f"{method}_classes"] >= 1
+            assert row[f"{method}_seconds"] >= 0
+
+    def test_accuracy_directions(self, smoke_functions):
+        """Heuristics overcount, ours undercounts (or hits) exact."""
+        row = table3_row(5, smoke_functions[5], kitty_max_n=0)
+        exact = row["exact"]
+        assert row["huang13_classes"] >= exact
+        assert row["petkovska16_classes"] >= exact
+        assert row["zhou20_classes"] >= exact
+        assert row["ours_classes"] <= exact
+        # Table III shape: huang13 is the least accurate baseline.
+        assert row["huang13_classes"] >= row["petkovska16_classes"]
+        assert row["huang13_classes"] >= row["zhou20_classes"]
+
+    def test_kitty_skipped_beyond_limit(self, smoke_functions):
+        row = table3_row(6, smoke_functions[6], kitty_max_n=5, exact=False)
+        assert row["kitty_classes"] is None
+
+
+class TestFig5:
+    def test_series_shape(self):
+        row = fig5_series(5, counts=(50, 100, 200), methods=("ours",), seed=1)
+        assert row["points"] == [50, 100, 200]
+        assert len(row["ours"]) == 3
+        assert row["ours"] == sorted(row["ours"])  # cumulative
+
+
+class TestFig34:
+    def test_witnesses_exist(self):
+        assert find_fig3_witness() is not None
+        assert find_fig4_g_witness() is not None
+        assert find_fig4_h_witness() is not None
+
+    def test_all_claims_hold(self):
+        rows = run_fig34()
+        assert len(rows) == 3
+        assert all(row["holds"] for row in rows)
+
+    def test_fig4_pairs_defeat_weaker_signatures(self):
+        """The reconstructed pairs collide under cofactor-only MSVs."""
+        from repro.core.classifier import FacePointClassifier
+
+        g1, g2 = find_fig4_g_witness()
+        cofactor_only = FacePointClassifier(["c0", "ocv1", "ocv2"])
+        assert cofactor_only.count_classes([g1, g2]) == 1
+        with_oiv = FacePointClassifier(["c0", "ocv1", "ocv2", "oiv"])
+        assert with_oiv.count_classes([g1, g2]) == 2
+
+        h1, h2 = find_fig4_h_witness()
+        with_influence = FacePointClassifier(["c0", "ocv1", "ocv2", "oiv"])
+        assert with_influence.count_classes([h1, h2]) == 1
+        with_osv = FacePointClassifier(["c0", "ocv1", "ocv2", "oiv", "osv"])
+        assert with_osv.count_classes([h1, h2]) == 2
+
+
+@pytest.mark.integration
+class TestEndToEndSoundness:
+    """The never-split invariant on circuit-derived functions."""
+
+    def test_planted_orbits_in_cut_functions(self, smoke_functions):
+        from repro.core.classifier import FacePointClassifier
+        from repro.core.transforms import random_transform
+        import random
+
+        rng = random.Random(0)
+        tables = list(smoke_functions[5])[:100]
+        planted = [tt.apply(random_transform(5, rng)) for tt in tables]
+        clf = FacePointClassifier()
+        base = clf.count_classes(tables)
+        assert clf.count_classes(tables + planted) == base
+
+    def test_random_workload_matches_exact_at_n4(self):
+        from repro.baselines.exact import ExactClassifier
+        from repro.core.classifier import FacePointClassifier
+
+        tables = random_tables(4, 500, seed=9)
+        ours = FacePointClassifier().count_classes(tables)
+        exact = ExactClassifier().count_classes(tables)
+        assert ours <= exact
+        assert ours >= 0.99 * exact

@@ -1,0 +1,63 @@
+"""Tests linking hypercube faces to cofactor signatures."""
+
+import random
+
+import pytest
+
+from repro.core.characteristics import cofactor_count, influence
+from repro.core.truth_table import TruthTable
+from repro.hypercube.faces import (
+    face_count,
+    face_minterms,
+    opposite_face,
+    subcube_faces,
+)
+
+
+class TestFaces:
+    def test_face_minterms_basic(self):
+        assert face_minterms(3, {0: 1}) == [1, 3, 5, 7]
+        assert face_minterms(3, {0: 0, 2: 1}) == [4, 6]
+        assert face_minterms(2, {}) == [0, 1, 2, 3]
+
+    def test_face_minterms_validation(self):
+        with pytest.raises(ValueError):
+            face_minterms(3, {3: 0})
+        with pytest.raises(ValueError):
+            face_minterms(3, {0: 2})
+
+    def test_subcube_faces_count(self):
+        # C(4,2) * 4 = 24 codimension-2 faces of Q4.
+        assert len(list(subcube_faces(4, 2))) == 24
+        assert len(list(subcube_faces(3, 0))) == 1
+
+    def test_face_count_equals_cofactor_count(self):
+        """Paper Section II-B: cofactor signatures are 1-counts on faces."""
+        rng = random.Random(0)
+        tt = TruthTable.random(4, rng)
+        for fixed in subcube_faces(4, 1):
+            ((i, v),) = fixed.items()
+            assert face_count(tt, fixed) == tt.cofactor_count(i, v)
+        for fixed in subcube_faces(4, 2):
+            (i, vi), (j, vj) = sorted(fixed.items())
+            assert face_count(tt, fixed) == cofactor_count(
+                tt, (i, j), vi | (vj << 1)
+            )
+
+    def test_opposite_face(self):
+        assert opposite_face({0: 1, 2: 0}, 0) == {0: 0, 2: 0}
+        with pytest.raises(ValueError):
+            opposite_face({0: 1}, 1)
+
+    def test_influence_is_face_disagreement(self):
+        """Paper Section II-D: influence counts disagreements between a
+        face and its opposite face."""
+        rng = random.Random(1)
+        tt = TruthTable.random(4, rng)
+        for i in range(4):
+            face = {i: 1}
+            disagreements = sum(
+                tt.evaluate(m) != tt.evaluate(m ^ (1 << i))
+                for m in face_minterms(4, face)
+            )
+            assert disagreements == influence(tt, i)

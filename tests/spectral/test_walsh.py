@@ -1,0 +1,150 @@
+"""Tests for the Walsh-Hadamard kernel and XOR pair counting."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truth_table import TruthTable
+from repro.spectral import walsh
+
+
+def naive_fwht(values):
+    size = len(values)
+    n = size.bit_length() - 1
+    out = []
+    for z in range(size):
+        total = 0
+        for x in range(size):
+            sign = -1 if bin(x & z).count("1") % 2 else 1
+            total += sign * values[x]
+        out.append(total)
+    return out
+
+
+class TestFWHT:
+    @pytest.mark.parametrize("n", range(0, 6))
+    def test_matches_naive(self, n):
+        rng = random.Random(n)
+        values = np.array([rng.randrange(-5, 6) for _ in range(1 << n)])
+        assert walsh.fwht(values).tolist() == naive_fwht(values.tolist())
+
+    def test_involution_up_to_scale(self):
+        rng = random.Random(9)
+        for n in range(1, 8):
+            values = np.array([rng.randrange(-9, 10) for _ in range(1 << n)])
+            twice = walsh.fwht(walsh.fwht(values))
+            assert (twice == (1 << n) * values).all()
+
+    def test_does_not_mutate_input(self):
+        values = np.array([1, 2, 3, 4])
+        walsh.fwht(values)
+        assert values.tolist() == [1, 2, 3, 4]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            walsh.fwht(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            walsh.fwht(np.array([]))
+
+
+class TestWalshSpectrum:
+    def test_constant_spectrum(self):
+        spectrum = walsh.walsh_spectrum(0, 3)
+        assert spectrum[0] == 8
+        assert (spectrum[1:] == 0).all()
+
+    def test_projection_spectrum(self):
+        tt = TruthTable.projection(3, 1)
+        spectrum = walsh.walsh_spectrum(tt.bits, 3)
+        # (-1)^{x_1} correlates perfectly with z = index-bit-1 only.
+        assert spectrum[0b010] == 8
+        assert abs(spectrum).sum() == 8
+
+    def test_dc_coefficient(self):
+        rng = random.Random(10)
+        for n in range(1, 7):
+            tt = TruthTable.random(n, rng)
+            spectrum = walsh.walsh_spectrum(tt.bits, n)
+            assert spectrum[0] == (1 << n) - 2 * tt.count_ones()
+
+    def test_parseval(self):
+        rng = random.Random(11)
+        for n in range(1, 7):
+            tt = TruthTable.random(n, rng)
+            spectrum = walsh.walsh_spectrum(tt.bits, n).astype(object)
+            assert int(np.sum(spectrum * spectrum)) == 1 << (2 * n)
+
+    def test_bent_function_flat_spectrum(self):
+        # x0x1 ^ x2x3 is bent: all Walsh coefficients have magnitude 2^{n/2}.
+        tt = TruthTable.from_function(4, lambda a, b, c, d: (a & b) ^ (c & d))
+        spectrum = walsh.walsh_spectrum(tt.bits, 4)
+        assert set(np.abs(spectrum).tolist()) == {4}
+
+
+class TestPairCounting:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_fwht_matches_direct(self, n):
+        rng = random.Random(n * 13)
+        for _ in range(10):
+            indicator = np.array(
+                [rng.randrange(2) for _ in range(1 << n)], dtype=np.int64
+            )
+            via_fwht = walsh.xor_autocorrelation(indicator)
+            indices = np.flatnonzero(indicator)
+            direct = walsh.pair_distance_histogram_direct(indices, n)
+            weights = np.array([bin(z).count("1") for z in range(1 << n)])
+            histogram = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(histogram, weights, via_fwht)
+            histogram[0] = 0
+            assert (histogram // 2 == direct).all()
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_public_api_consistent(self, n):
+        """The adaptive strategy equals the direct count for any density."""
+        rng = random.Random(n * 29)
+        for density in (0.1, 0.5, 0.9):
+            indicator = np.array(
+                [1 if rng.random() < density else 0 for _ in range(1 << n)],
+                dtype=np.int64,
+            )
+            adaptive = walsh.pair_distance_histogram(indicator, n)
+            direct = walsh.pair_distance_histogram_direct(
+                np.flatnonzero(indicator), n
+            )
+            assert (adaptive == direct).all()
+
+    def test_empty_and_singleton(self):
+        zeros = np.zeros(8, dtype=np.int64)
+        assert walsh.pair_distance_histogram(zeros, 3).sum() == 0
+        one = zeros.copy()
+        one[5] = 1
+        assert walsh.pair_distance_histogram(one, 3).sum() == 0
+
+    def test_full_cube(self):
+        indicator = np.ones(8, dtype=np.int64)
+        histogram = walsh.pair_distance_histogram(indicator, 3)
+        # All pairs of Q3 vertices: C(8,2)=28, split 12/12/4 by distance.
+        assert histogram.tolist() == [0, 12, 12, 4]
+
+    def test_autocorrelation_diagonal(self):
+        indicator = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.int64)
+        correlation = walsh.xor_autocorrelation(indicator)
+        assert correlation[0] == indicator.sum()
+        assert correlation.sum() == indicator.sum() ** 2
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            walsh.pair_distance_histogram(np.ones(6, dtype=np.int64), 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=7), st.randoms(use_true_random=False))
+def test_property_pair_total(n, rng):
+    """Sum over distances equals C(m, 2) for a size-m set."""
+    indicator = np.array([rng.randrange(2) for _ in range(1 << n)], dtype=np.int64)
+    m = int(indicator.sum())
+    histogram = walsh.pair_distance_histogram(indicator, n)
+    assert int(histogram.sum()) == m * (m - 1) // 2

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_tables
+
+
+class TestParsing:
+    def test_parse_binary_lines(self):
+        tables = parse_tables(["11101000", "", "# comment", "0110"])
+        assert len(tables) == 2
+        assert tables[0].n == 3
+        assert tables[1].n == 2
+
+    def test_parse_hex_with_prefix(self):
+        tables = parse_tables(["0xe8"])
+        assert tables[0].bits == 0xE8
+        assert tables[0].n == 3
+
+    def test_parse_hex_needs_inferable_width(self):
+        with pytest.raises(ValueError):
+            parse_tables(["0xe8a"])  # 12 bits: not a power of two
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse_tables(["zz"])
+
+
+class TestCommands:
+    def test_classify_file(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n10000000\n")
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "functions: 3" in out
+        assert "classes:   2" in out
+
+    def test_classify_method_selection(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n")
+        assert main(["classify", str(path), "--method", "kitty"]) == 0
+        assert "classes:   1" in capsys.readouterr().out
+
+    def test_classify_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n")
+        assert main(["classify", str(path)]) == 1
+
+    def test_signatures_command(self, capsys):
+        assert main(["signatures", "11101000"]) == 0
+        out = capsys.readouterr().out
+        assert "OCV1  = (1, 1, 1, 3, 3, 3)" in out
+        assert "OIV   = (2, 2, 2)" in out
+        assert "MSV digest" in out
+
+    def test_signatures_hex_with_n(self, capsys):
+        assert main(["signatures", "0xe8", "--n", "3"]) == 0
+        assert "balanced=True" in capsys.readouterr().out
+
+    def test_suite_command(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out
+        assert "arithmetic" in out
+
+    def test_extract_command(self, capsys):
+        assert main(["extract", "--sizes", "3,4", "--limit", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Extracted cut functions" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "OSDV" in out
+        assert "False" not in out  # every row matches the paper
+
+    def test_fig34_command(self, capsys):
+        assert main(["fig34"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4-g" in out
+        assert "False" not in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+@pytest.mark.integration
+class TestExperimentCommands:
+    """End-to-end table/figure regeneration at smoke scale."""
+
+    def test_table2_smoke(self, capsys):
+        assert main(["table2", "--scale", "smoke", "--no-exact"]) == 0
+        out = capsys.readouterr().out
+        assert "OIV+OSV" in out
+        assert "Table II" in out
+
+    def test_table3_smoke(self, capsys):
+        assert main(["table3", "--scale", "smoke", "--no-exact"]) == 0
+        out = capsys.readouterr().out
+        assert "ours_classes" in out
+
+    def test_fig5_smoke(self, capsys):
+        assert main(["fig5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative seconds" in out
+        assert "stability" in out

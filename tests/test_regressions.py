@@ -1,0 +1,98 @@
+"""Regression tests for bugs found (and fixed) during development.
+
+Each test documents a specific failure mode so it cannot silently
+reappear; see the git-less changelog in the docstrings.
+"""
+
+import itertools
+import random
+
+from repro.core import bitops
+from repro.core.msv import compute_msv
+from repro.core.truth_table import TruthTable
+
+
+class TestPermutationComposition:
+    """`permute_inputs` once composed value-transpositions on the wrong
+    side, so non-involutive permutations (any with a 3-cycle) produced the
+    inverse permutation's table."""
+
+    def test_three_cycle(self):
+        t = 0b10110010
+        fast = bitops.permute_inputs(t, 3, (1, 2, 0))
+        reference = bitops.permute_inputs_reference(t, 3, (1, 2, 0))
+        assert fast == reference
+
+    def test_all_n4_permutations(self):
+        rng = random.Random(42)
+        t = rng.getrandbits(16)
+        for perm in itertools.permutations(range(4)):
+            assert bitops.permute_inputs(t, 4, perm) == (
+                bitops.permute_inputs_reference(t, 4, perm)
+            )
+
+
+class TestHeapSnapshot:
+    """`exact_npn_canonical` stored Heap's live permutation list in its
+    best-state; by the time the loop ended the list had mutated, so the
+    witnessing transform was wrong (though the representative was right)."""
+
+    def test_witness_verifies_for_many_functions(self):
+        from repro.baselines.exact_enum import exact_npn_canonical
+
+        rng = random.Random(7)
+        for _ in range(30):
+            tt = TruthTable.random(4, rng)
+            form = exact_npn_canonical(tt)
+            assert tt.apply(form.transform) == form.representative
+
+
+class TestNullaryPhase:
+    """`compute_msv` skipped output-phase normalisation for n = 0, so the
+    two constant functions (which are NPN equivalent) split."""
+
+    def test_constants_share_msv(self):
+        assert compute_msv(TruthTable(0, 0)) == compute_msv(TruthTable(0, 1))
+
+    def test_all_widths_constants_merge(self):
+        for n in range(0, 6):
+            zero = TruthTable.constant(n, 0)
+            one = TruthTable.constant(n, 1)
+            assert compute_msv(zero) == compute_msv(one)
+
+
+class TestCutDiversity:
+    """Priority-cut filtering originally kept only the smallest cuts, so
+    extraction yielded almost no functions at the larger cut sizes the
+    paper's tables sweep (n = 7..10)."""
+
+    def test_large_cuts_survive_filtering(self):
+        from repro.aig.builders import ripple_adder
+        from repro.workloads.extraction import extract_cut_functions
+
+        functions = extract_cut_functions(ripple_adder(10), sizes=[4, 6, 8])
+        assert len(functions[6]) > 0
+        assert len(functions[8]) > 0
+
+
+class TestVariableKeyScope:
+    """`variable_keys` was documented as NPN-invariant; it is only
+    NP-invariant (cofactor pairs complement under output negation).  The
+    matcher normalises output phase before using the keys, so matching
+    stays complete — pinned here from both directions."""
+
+    def test_matcher_handles_output_negation(self):
+        from repro.baselines.matcher import find_npn_transform
+
+        rng = random.Random(9)
+        for _ in range(10):
+            tt = TruthTable.random(4, rng)
+            transform = find_npn_transform(tt, ~tt)
+            assert transform is not None
+            assert tt.apply(transform) == ~tt
+
+    def test_keys_differ_across_polarity(self):
+        from repro.baselines.matcher import variable_keys
+
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        assert sorted(variable_keys(and3)) != sorted(variable_keys(~and3))

@@ -1,0 +1,129 @@
+"""Tests for the benchmark suite, extraction pipeline, and random sets."""
+
+import pytest
+
+from repro.aig.builders import ripple_adder
+from repro.core.truth_table import TruthTable
+from repro.workloads.epfl import (
+    ARITHMETIC,
+    CONTROL,
+    category_of,
+    epfl_like_suite,
+    suite_summary,
+)
+from repro.workloads.extraction import extract_cut_functions, extraction_report
+from repro.workloads.random_functions import (
+    consecutive_tables,
+    random_tables,
+    seeded_equivalent_tables,
+)
+
+
+class TestSuite:
+    def test_suite_builds(self):
+        suite = epfl_like_suite(scale=1)
+        assert len(suite) >= 12
+        for name, aig in suite.items():
+            assert aig.num_inputs > 0, name
+            assert aig.num_outputs > 0, name
+
+    def test_both_categories_present(self):
+        suite = epfl_like_suite(scale=1)
+        categories = {category_of(name) for name in suite}
+        assert categories == {ARITHMETIC, CONTROL}
+
+    def test_summary_rows(self):
+        suite = epfl_like_suite(scale=1)
+        rows = suite_summary(suite)
+        assert len(rows) == len(suite)
+        assert {row["name"] for row in rows} == set(suite)
+        for row in rows:
+            assert row["ands"] >= 0
+            assert row["depth"] >= 1
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            epfl_like_suite(scale=0)
+
+    def test_scale_grows_circuits(self):
+        small = epfl_like_suite(scale=1)["adder"]
+        large = epfl_like_suite(scale=2)["adder"]
+        assert large.num_ands > small.num_ands
+
+
+class TestExtraction:
+    def test_extract_from_adder(self):
+        functions = extract_cut_functions(ripple_adder(6), sizes=[3, 4, 5])
+        assert set(functions) == {3, 4, 5}
+        for n, tables in functions.items():
+            assert all(tt.n == n for tt in tables)
+            # Deduplication: all tables distinct.
+            assert len({tt.bits for tt in tables}) == len(tables)
+
+    def test_extract_multiple_circuits_dedupes_across(self):
+        one = extract_cut_functions(ripple_adder(6), sizes=[4])
+        two = extract_cut_functions(
+            [ripple_adder(6), ripple_adder(6)], sizes=[4]
+        )
+        assert len(two[4]) == len(one[4])
+
+    def test_limit_per_size(self):
+        functions = extract_cut_functions(
+            ripple_adder(8), sizes=[4, 5], limit_per_size=7
+        )
+        assert all(len(tables) <= 7 for tables in functions.values())
+
+    def test_extracted_functions_contain_known_logic(self):
+        """An adder's 3-cuts include MAJ3 or XOR3 (carry/sum logic)."""
+        functions = extract_cut_functions(ripple_adder(6), sizes=[3])
+        from repro.baselines.matcher import are_npn_equivalent
+
+        maj = TruthTable.majority(3)
+        xor3 = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+        found_maj = any(are_npn_equivalent(tt, maj) for tt in functions[3])
+        found_xor = any(are_npn_equivalent(tt, xor3) for tt in functions[3])
+        assert found_maj and found_xor
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            extract_cut_functions(ripple_adder(4), sizes=[])
+        with pytest.raises(ValueError):
+            extract_cut_functions(ripple_adder(4), sizes=[0])
+
+    def test_report(self):
+        functions = extract_cut_functions(ripple_adder(6), sizes=[4])
+        rows = extraction_report(functions)
+        assert rows[0]["n"] == 4
+        assert rows[0]["functions"] == len(functions[4])
+        assert 0 <= rows[0]["balanced"] <= rows[0]["functions"]
+
+
+class TestRandomSets:
+    def test_random_tables_deterministic(self):
+        assert random_tables(5, 10, seed=3) == random_tables(5, 10, seed=3)
+        assert random_tables(5, 10, seed=3) != random_tables(5, 10, seed=4)
+
+    def test_consecutive_tables(self):
+        tables = consecutive_tables(4, 5, start=10)
+        assert [tt.bits for tt in tables] == [10, 11, 12, 13, 14]
+
+    def test_consecutive_wraps(self):
+        tables = consecutive_tables(2, 4, start=14)
+        assert [tt.bits for tt in tables] == [14, 15, 0, 1]
+
+    def test_consecutive_needs_seed_or_start(self):
+        with pytest.raises(ValueError):
+            consecutive_tables(4, 5)
+        by_seed = consecutive_tables(4, 5, seed=1)
+        assert len(by_seed) == 5
+
+    def test_seeded_equivalents_class_count(self):
+        from repro.baselines.exact import ExactClassifier
+
+        tables, upper = seeded_equivalent_tables(
+            4, orbits=8, members_per_orbit=4, seed=5
+        )
+        assert len(tables) == 32
+        exact = ExactClassifier().count_classes(tables)
+        assert exact <= upper
+        assert exact >= 1
