@@ -38,6 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="classifier to use",
     )
     classify.add_argument(
+        "--engine",
+        default="perfn",
+        choices=("perfn", "batched"),
+        help="signature engine for --method ours: one function at a time "
+        "(perfn) or the packed/vectorized batch engine (batched)",
+    )
+    classify.add_argument(
         "--show-classes", action="store_true", help="print class members"
     )
 
@@ -182,6 +189,9 @@ def main(argv=None) -> int:
 def _cmd_classify(args) -> int:
     from repro.baselines import get_classifier
 
+    if args.engine == "batched" and args.method != "ours":
+        print("--engine batched only applies to --method ours", file=sys.stderr)
+        return 2
     if args.file == "-":
         lines = sys.stdin.readlines()
     else:
@@ -191,9 +201,17 @@ def _cmd_classify(args) -> int:
     if not tables:
         print("no truth tables found", file=sys.stderr)
         return 1
-    result = get_classifier(args.method).classify(tables)
+    if args.engine == "batched":
+        from repro.engine import BatchedClassifier
+
+        classifier = BatchedClassifier()
+        label = "ours, batched engine"
+    else:
+        classifier = get_classifier(args.method)
+        label = args.method
+    result = classifier.classify(tables)
     print(f"functions: {result.num_functions}")
-    print(f"classes:   {result.num_classes} ({args.method})")
+    print(f"classes:   {result.num_classes} ({label})")
     if args.show_classes:
         for index, members in enumerate(result.groups.values()):
             rendered = " ".join(str(tt) for tt in members)

@@ -36,15 +36,24 @@ __all__ = [
     "sensitivity_word",
     "to_bit_array",
     "from_bit_array",
+    "to_words",
+    "from_words",
+    "words_per_table",
+    "mask_words",
+    "var_mask_words",
     "popcount_table",
     "indices_by_weight",
     "hamming_distance",
     "MAX_VARS",
+    "WORD_BITS",
 ]
 
 #: Practical upper bound on variable count.  2**20-bit integers are still
 #: fine, but the quadratic-ish helpers (index tables) stop here.
 MAX_VARS = 20
+
+#: Machine-word width of the packed representation used by repro.engine.
+WORD_BITS = 64
 
 
 @lru_cache(maxsize=None)
@@ -259,6 +268,49 @@ def from_bit_array(bits: np.ndarray) -> int:
     """Inverse of :func:`to_bit_array`."""
     packed = np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little")
     return int.from_bytes(packed.tobytes(), "little")
+
+
+def words_per_table(n: int) -> int:
+    """Number of 64-bit words a ``2**n``-bit truth table packs into.
+
+    Tables of fewer than 64 bits occupy the low bits of a single word.
+    """
+    _check_n(n)
+    return max(1, (1 << n) // WORD_BITS)
+
+
+def to_words(table: int, n: int) -> np.ndarray:
+    """Truth table as a little-endian ``uint64`` word array.
+
+    Word ``w`` holds minterms ``64*w .. 64*w + 63`` (minterm ``m`` at bit
+    ``m % 64``) — the packed representation the batched engine operates
+    on.  Length is :func:`words_per_table`.
+    """
+    count = words_per_table(n)
+    raw = table.to_bytes(count * 8, "little")
+    return np.frombuffer(raw, dtype="<u8").copy()
+
+
+def from_words(words: np.ndarray, n: int) -> int:
+    """Inverse of :func:`to_words`."""
+    count = words_per_table(n)
+    arr = np.ascontiguousarray(np.asarray(words, dtype="<u8"))
+    if arr.shape != (count,):
+        raise ValueError(f"expected {count} words for n={n}, got {arr.shape}")
+    return int.from_bytes(arr.tobytes(), "little") & table_mask(n)
+
+
+def mask_words(mask: int, n: int) -> np.ndarray:
+    """Arbitrary ``2**n``-bit mask in packed word form (cacheable helper)."""
+    return to_words(mask & table_mask(n), n)
+
+
+@lru_cache(maxsize=None)
+def var_mask_words(n: int, i: int) -> np.ndarray:
+    """:func:`var_mask` in packed word form (read-only cached array)."""
+    words = mask_words(var_mask(n, i), n)
+    words.setflags(write=False)
+    return words
 
 
 @lru_cache(maxsize=None)

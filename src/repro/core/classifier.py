@@ -14,6 +14,7 @@ may merge buckets.  ``#classes <= #exact classes`` always holds.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -49,6 +50,25 @@ class ClassificationResult:
     def class_of(self, tt: TruthTable) -> list[TruthTable]:
         """All classified functions sharing ``tt``'s signature."""
         return self.groups.get(compute_msv(tt, self.parts), [])
+
+    def buckets_digest(self) -> str:
+        """Order-sensitive digest of the complete grouping.
+
+        Covers group insertion order, member order and every member's
+        table — equal digests mean byte-identical buckets.  Used to check
+        that alternative engines (``repro.engine.BatchedClassifier``)
+        reproduce this classifier's output exactly.
+        """
+        payload = repr(
+            (
+                self.parts,
+                [
+                    (signature.key, [(tt.n, tt.bits) for tt in members])
+                    for signature, members in self.groups.items()
+                ],
+            )
+        ).encode()
+        return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
     def merged_with(self, other: "ClassificationResult") -> "ClassificationResult":
         """Union of two runs over the same parts."""

@@ -27,6 +27,13 @@ never-split property the tests enforce).
 The complement-polarity key is *derived*, not recomputed: cofactor counts
 complement within their face size, influence and the sensitivity profile
 are unchanged, and the 0/1-split vectors simply swap.
+
+Key assembly is split from per-function computation so other producers of
+the raw characteristics — in particular the batched engine in
+:mod:`repro.engine`, which computes them vectorized over a whole packed
+batch — build *byte-identical* keys: they fill a :class:`SignaturePieces`
+and call :func:`msv_from_pieces`, the exact code path
+:func:`compute_msv` uses.
 """
 
 from __future__ import annotations
@@ -41,7 +48,17 @@ from repro.core import characteristics as chars
 from repro.core.signatures import _osdv_from_buckets
 from repro.core.truth_table import TruthTable
 
-__all__ = ["MixedSignature", "compute_msv", "PART_NAMES", "DEFAULT_PARTS"]
+__all__ = [
+    "MixedSignature",
+    "SignaturePieces",
+    "compute_msv",
+    "compute_pieces",
+    "msv_from_pieces",
+    "canonical_key",
+    "normalize_parts",
+    "PART_NAMES",
+    "DEFAULT_PARTS",
+]
 
 PART_NAMES = (
     "c0",
@@ -84,75 +101,30 @@ def normalize_parts(parts) -> tuple[str, ...]:
     return tuple(name for name in PART_NAMES if name in requested)
 
 
-def compute_msv(tt: TruthTable, parts=DEFAULT_PARTS) -> MixedSignature:
-    """Compute the MSV of a function for the selected signature parts."""
-    selected = normalize_parts(parts)
-    n = tt.n
-    count = tt.count_ones()
-    total = 1 << n
+@dataclass
+class SignaturePieces:
+    """Raw phase-0 characteristics of one function, before key assembly.
 
-    pieces = _RawPieces(tt, selected)
-    if 2 * count > total:
-        phases = (1,)
-    elif 2 * count == total:
-        phases = (0, 1)
-    else:
-        phases = (0,)
-    key = min(pieces.key_for_phase(q) for q in phases)
-    return MixedSignature(n, selected, key)
+    Only the fields needed by the selected parts are filled; the rest stay
+    ``None``.  Cofactor tuples are *unsorted* raw counts — sorting happens
+    during key assembly, once the output polarity is known.
+    """
 
+    n: int
+    count: int
+    cof1: tuple | None = None
+    cof2: tuple | None = None
+    cof3: tuple | None = None
+    oiv: tuple | None = None
+    hist1: tuple | None = None
+    hist0: tuple | None = None
+    hist_full: tuple | None = None
+    osdv1: tuple | None = None
+    osdv0: tuple | None = None
+    osdv_full: tuple | None = None
+    spectral: tuple | None = None
 
-class _RawPieces:
-    """Raw characteristics computed once; per-polarity keys derived from them."""
-
-    def __init__(self, tt: TruthTable, selected: tuple[str, ...]) -> None:
-        self.n = tt.n
-        self.count = tt.count_ones()
-        self.selected = selected
-        need = set(selected)
-        self.cof1 = chars.cofactor_counts_1ary(tt) if "ocv1" in need else None
-        self.cof2 = chars.cofactor_counts(tt, 2) if "ocv2" in need else None
-        self.cof3 = chars.cofactor_counts(tt, 3) if "ocv3" in need else None
-        self.oiv = (
-            tuple(sorted(chars.influences(tt))) if "oiv" in need else None
-        )
-        if need & {"osv", "osv_full", "osdv", "osdv_full"}:
-            self.profile = chars.sensitivity_profile(tt)
-            self.ones = tt.bit_array().astype(bool)
-        else:
-            self.profile = None
-            self.ones = None
-        self.hist1 = self.hist0 = None
-        if "osv" in need:
-            self.hist1 = _hist(self.profile[self.ones], self.n)
-            self.hist0 = _hist(self.profile[~self.ones], self.n)
-        self.hist_full = (
-            _hist(self.profile, self.n) if "osv_full" in need else None
-        )
-        self.osdv1 = self.osdv0 = None
-        if "osdv" in need:
-            self.osdv1 = self._osdv_for(self.ones)
-            self.osdv0 = self._osdv_for(~self.ones)
-        self.osdv_full = (
-            self._osdv_for(np.ones(1 << self.n, dtype=bool))
-            if "osdv_full" in need
-            else None
-        )
-        if "spectral" in need:
-            from repro.spectral.signatures import spectral_signature
-
-            self.spectral = spectral_signature(tt)
-        else:
-            self.spectral = None
-
-    def _osdv_for(self, keep: np.ndarray) -> tuple[int, ...]:
-        buckets = [
-            ((self.profile == level) & keep).astype(np.int64)
-            for level in range(self.n + 1)
-        ]
-        return _osdv_from_buckets(buckets, self.n)
-
-    def key_for_phase(self, phase: int) -> tuple:
+    def key_for_phase(self, selected: tuple[str, ...], phase: int) -> tuple:
         """The concatenated key for output polarity ``phase``.
 
         ``phase = 1`` describes the complemented function; every part is
@@ -160,7 +132,7 @@ class _RawPieces:
         """
         n = self.n
         out = []
-        for name in self.selected:
+        for name in selected:
             if name == "c0":
                 value = self.count if phase == 0 else (1 << n) - self.count
             elif name == "ocv1":
@@ -191,6 +163,76 @@ class _RawPieces:
                 value = self.spectral
             out.append(value)
         return tuple(out)
+
+
+def canonical_key(pieces: SignaturePieces, selected: tuple[str, ...]) -> tuple:
+    """Phase-canonical key: the output-negation rule of Theorems 3-4."""
+    total = 1 << pieces.n
+    if 2 * pieces.count > total:
+        phases = (1,)
+    elif 2 * pieces.count == total:
+        phases = (0, 1)
+    else:
+        phases = (0,)
+    return min(pieces.key_for_phase(selected, q) for q in phases)
+
+
+def msv_from_pieces(
+    pieces: SignaturePieces, selected: tuple[str, ...]
+) -> MixedSignature:
+    """Assemble the canonical :class:`MixedSignature` from raw pieces."""
+    return MixedSignature(pieces.n, selected, canonical_key(pieces, selected))
+
+
+def compute_msv(tt: TruthTable, parts=DEFAULT_PARTS) -> MixedSignature:
+    """Compute the MSV of a function for the selected signature parts."""
+    selected = normalize_parts(parts)
+    return msv_from_pieces(compute_pieces(tt, selected), selected)
+
+
+def compute_pieces(tt: TruthTable, selected: tuple[str, ...]) -> SignaturePieces:
+    """Per-function (big-int kernel) computation of the raw pieces.
+
+    The batched counterpart is ``repro.engine.signatures.batched_pieces``,
+    which fills the same container from packed ``uint64`` arrays.
+    """
+    n = tt.n
+    pieces = SignaturePieces(n=n, count=tt.count_ones())
+    need = set(selected)
+    if "ocv1" in need:
+        pieces.cof1 = chars.cofactor_counts_1ary(tt)
+    if "ocv2" in need:
+        pieces.cof2 = chars.cofactor_counts(tt, 2)
+    if "ocv3" in need:
+        pieces.cof3 = chars.cofactor_counts(tt, 3)
+    if "oiv" in need:
+        pieces.oiv = tuple(sorted(chars.influences(tt)))
+    profile = ones = None
+    if need & {"osv", "osv_full", "osdv", "osdv_full"}:
+        profile = chars.sensitivity_profile(tt)
+        ones = tt.bit_array().astype(bool)
+    if "osv" in need:
+        pieces.hist1 = _hist(profile[ones], n)
+        pieces.hist0 = _hist(profile[~ones], n)
+    if "osv_full" in need:
+        pieces.hist_full = _hist(profile, n)
+    if "osdv" in need:
+        pieces.osdv1 = _osdv_for(profile, ones, n)
+        pieces.osdv0 = _osdv_for(profile, ~ones, n)
+    if "osdv_full" in need:
+        pieces.osdv_full = _osdv_for(profile, np.ones(1 << n, dtype=bool), n)
+    if "spectral" in need:
+        from repro.spectral.signatures import spectral_signature
+
+        pieces.spectral = spectral_signature(tt)
+    return pieces
+
+
+def _osdv_for(profile: np.ndarray, keep: np.ndarray, n: int) -> tuple[int, ...]:
+    buckets = [
+        ((profile == level) & keep).astype(np.int64) for level in range(n + 1)
+    ]
+    return _osdv_from_buckets(buckets, n)
 
 
 def _hist(values: np.ndarray, n: int) -> tuple[int, ...]:

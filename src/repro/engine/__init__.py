@@ -1,0 +1,28 @@
+"""Batched classification engine: packed batches, vectorized signatures.
+
+The per-function classifier in :mod:`repro.core.classifier` computes each
+Mixed Signature Vector on one big-int table at a time.  This package is
+the bulk counterpart the Section V-C linearity claim deserves:
+
+* :class:`~repro.engine.packed.PackedTables` — many truth tables as one
+  ``[batch, 2**n / 64]`` ``uint64`` matrix;
+* :mod:`repro.engine.signatures` — every MSV part computed vectorized
+  across the whole batch;
+* :class:`~repro.engine.cache.SignatureCache` — LRU memoisation keyed on
+  ``(table, n, parts)`` for repeated workloads;
+* :class:`~repro.engine.classifier.BatchedClassifier` — Algorithm 1 with
+  buckets byte-identical to ``FacePointClassifier``'s.
+"""
+
+from repro.engine.cache import CacheStats, SignatureCache
+from repro.engine.classifier import BatchedClassifier
+from repro.engine.packed import PackedTables
+from repro.engine.signatures import batched_pieces
+
+__all__ = [
+    "BatchedClassifier",
+    "PackedTables",
+    "SignatureCache",
+    "CacheStats",
+    "batched_pieces",
+]

@@ -1,0 +1,92 @@
+"""LRU signature cache: repeated workloads skip recomputation.
+
+Library matching evaluates the same cut functions against a library over
+and over, and the Fig. 5 consecutive-table stress re-visits structurally
+identical tables; both make signature computation cache-friendly.  The
+cache is keyed on ``(table bits, n, parts)`` — everything that determines
+a :class:`~repro.core.msv.MixedSignature` — so one cache instance can be
+shared between classifiers with different part selections.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.msv import MixedSignature
+
+__all__ = ["SignatureCache", "CacheStats"]
+
+#: Cache key: ``(table bits, n, parts)``.
+CacheKey = tuple[int, int, tuple[str, ...]]
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction counters of one :class:`SignatureCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SignatureCache:
+    """Bounded LRU map from ``(bits, n, parts)`` to computed signatures.
+
+    ``maxsize=0`` disables caching entirely (every lookup misses); any
+    positive size evicts least-recently-used entries beyond the bound.
+    """
+
+    def __init__(self, maxsize: int = 1 << 16) -> None:
+        if maxsize < 0:
+            raise ValueError(f"cache size must be non-negative, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, MixedSignature] = OrderedDict()
+
+    def get(self, key: CacheKey) -> MixedSignature | None:
+        """Look up a signature, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, signature: MixedSignature) -> None:
+        """Insert (or refresh) one signature, evicting LRU overflow."""
+        if self.maxsize == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = signature
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SignatureCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

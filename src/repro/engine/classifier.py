@@ -1,0 +1,166 @@
+"""The batched NPN classifier: Algorithm 1 over packed batches.
+
+:class:`BatchedClassifier` is a drop-in replacement for
+:class:`repro.core.classifier.FacePointClassifier` that moves the
+signature computation from one big-int at a time to whole
+:class:`~repro.engine.packed.PackedTables` batches, and memoises results
+in an LRU :class:`~repro.engine.cache.SignatureCache`.
+
+Contract: for any input sequence the classifier produces *identical*
+buckets to ``FacePointClassifier`` — same :class:`MixedSignature` keys,
+same first-seen group order, same member order.  The never-split
+invariant (NPN-equivalent functions always share a bucket) is therefore
+inherited rather than re-proved: both paths assemble keys through
+:func:`repro.core.msv.msv_from_pieces`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.classifier import ClassificationResult
+from repro.core.msv import (
+    DEFAULT_PARTS,
+    MixedSignature,
+    canonical_key,
+    normalize_parts,
+)
+from repro.core.truth_table import TruthTable
+from repro.engine.cache import CacheStats, SignatureCache
+from repro.engine.packed import PackedTables
+from repro.engine.signatures import batched_pieces
+
+__all__ = ["BatchedClassifier"]
+
+
+class BatchedClassifier:
+    """NPN classifier with a vectorized hot path and a signature cache.
+
+    Args:
+        parts: which signature vectors make up the MSV (same selection as
+            ``FacePointClassifier``).
+        cache_size: LRU capacity of the signature cache; ``0`` disables
+            caching.
+        chunk_size: rows per vectorized chunk; ``None`` picks a size that
+            keeps the ``[chunk, 2**n]`` temporaries cache-resident.
+
+    Example:
+        >>> from repro import TruthTable
+        >>> from repro.engine import BatchedClassifier
+        >>> clf = BatchedClassifier()
+        >>> maj = TruthTable.majority(3)
+        >>> clf.classify([maj, ~maj, maj.flip_input(1)]).num_classes
+        1
+    """
+
+    def __init__(
+        self,
+        parts: Iterable[str] = DEFAULT_PARTS,
+        cache_size: int = 1 << 16,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.parts = normalize_parts(parts)
+        self.chunk_size = chunk_size
+        self.cache = SignatureCache(maxsize=cache_size)
+
+    # ------------------------------------------------------------------
+    # Signatures
+    # ------------------------------------------------------------------
+
+    def signature(self, tt: TruthTable) -> MixedSignature:
+        """The MSV of one function (cached)."""
+        return self.signatures([tt])[0]
+
+    def signatures(
+        self, tables: Sequence[TruthTable] | PackedTables
+    ) -> list[MixedSignature]:
+        """MSVs of many functions, in input order.
+
+        Accepts a sequence of :class:`TruthTable` (arities may be mixed —
+        rows are grouped per ``n`` internally) or an already-packed
+        :class:`PackedTables` batch.  Cached signatures are reused; only
+        the misses go through the vectorized kernels.
+        """
+        if isinstance(tables, PackedTables):
+            return self._signatures_one_arity(
+                tables.n, tables.to_ints(), packed=tables
+            )
+        tables = list(tables)
+        out: list[MixedSignature | None] = [None] * len(tables)
+        by_arity: dict[int, list[int]] = {}
+        for index, tt in enumerate(tables):
+            by_arity.setdefault(tt.n, []).append(index)
+        for n, indices in by_arity.items():
+            sigs = self._signatures_one_arity(n, [tables[i].bits for i in indices])
+            for index, sig in zip(indices, sigs):
+                out[index] = sig
+        return out  # type: ignore[return-value]
+
+    def _signatures_one_arity(
+        self, n: int, bits: list[int], packed: PackedTables | None = None
+    ) -> list[MixedSignature]:
+        parts = self.parts
+        out: list[MixedSignature | None] = [None] * len(bits)
+        misses: list[int] = []  # first position of each distinct missing table
+        missing: set[int] = set()
+        for index, value in enumerate(bits):
+            cached = self.cache.get((value, n, parts))
+            if cached is not None:
+                out[index] = cached
+            elif value not in missing:
+                missing.add(value)
+                misses.append(index)
+        if misses:
+            if packed is not None and len(misses) == len(bits):
+                batch = packed
+            else:
+                batch = PackedTables.from_ints(n, (bits[i] for i in misses))
+            pieces = batched_pieces(batch, parts, self.chunk_size)
+            resolved: dict[int, MixedSignature] = {}
+            for index, piece in zip(misses, pieces):
+                sig = MixedSignature(n, parts, canonical_key(piece, parts))
+                resolved[bits[index]] = sig
+                self.cache.put((bits[index], n, parts), sig)
+            for index, value in enumerate(bits):
+                if out[index] is None:
+                    out[index] = resolved[value]
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def classify(
+        self, tables: Sequence[TruthTable] | PackedTables
+    ) -> ClassificationResult:
+        """Group functions into NPN classes by signature hashing."""
+        if isinstance(tables, PackedTables):
+            members = tables.to_tables()
+            signatures = self._signatures_one_arity(
+                tables.n, [tt.bits for tt in members], packed=tables
+            )
+        else:
+            members = list(tables)
+            signatures = self.signatures(members)
+        result = ClassificationResult(self.parts)
+        groups = result.groups
+        for signature, tt in zip(signatures, members):
+            groups.setdefault(signature, []).append(tt)
+        return result
+
+    def count_classes(
+        self, tables: Sequence[TruthTable] | PackedTables
+    ) -> int:
+        """Number of classes without retaining group membership."""
+        return len(set(self.signatures(tables)))
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the signature cache."""
+        return self.cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedClassifier(parts={self.parts}, "
+            f"cache={len(self.cache)}/{self.cache.maxsize})"
+        )

@@ -1,0 +1,284 @@
+"""Batched signature computation: MSV raw pieces for a whole packed batch.
+
+This is the vectorized twin of :func:`repro.core.msv.compute_pieces`.
+Every face/point characteristic of Section II is computed for *all*
+functions of a :class:`~repro.engine.packed.PackedTables` at once:
+
+* cofactor satisfy counts are masked popcounts — one ``[batch, M, W]``
+  AND-popcount pass per cofactor arity (Definitions 1-2);
+* influence and the sensitivity profile come from per-variable
+  sensitivity words, XOR-shifts applied to the full word matrix
+  (Definitions 3-5);
+* OSDV pair counting batches the Walsh-Hadamard XOR auto-correlation of
+  :mod:`repro.spectral.walsh` along the minterm axis, so one transform
+  handles every function simultaneously (Definitions 9-10).
+
+The output is a list of :class:`repro.core.msv.SignaturePieces` — the
+same container the scalar path fills — so key assembly (phase
+canonicalisation, sorting, tuple layout) is shared code and the resulting
+:class:`~repro.core.msv.MixedSignature` objects are byte-identical to the
+per-function classifier's.  That equality is what makes the batched
+engine inherit the never-split contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.msv import SignaturePieces
+from repro.engine.packed import (
+    PackedTables,
+    masked_popcount_rows,
+    popcount_rows,
+    sensitivity_words_packed,
+    unpack_word_bits,
+)
+
+__all__ = ["batched_pieces", "fwht_batch", "auto_chunk_size"]
+
+#: Soft cap on the size of one int64 work matrix (entries, not bytes).
+_CHUNK_BUDGET = 1 << 23
+
+
+def auto_chunk_size(n: int, selected: tuple[str, ...] = ()) -> int:
+    """Rows per chunk keeping the ``[chunk, 2**n]`` temporaries bounded.
+
+    Cofactor mask stacks wider than the table itself are blocked along
+    the mask axis separately (see ``_masked_counts``), so the row budget
+    is driven by the profile/OSDV temporaries — of which roughly four
+    (profile, ones mask, level indicator, FWHT spectrum) are alive at
+    once when sensitivity parts are selected.
+    """
+    per_row = 1 << n
+    if set(selected) & {"osv", "osv_full", "osdv", "osdv_full"}:
+        per_row *= 4
+    return max(1, min(8192, _CHUNK_BUDGET // per_row))
+
+
+def batched_pieces(
+    packed: PackedTables,
+    selected: tuple[str, ...],
+    chunk_size: int | None = None,
+) -> list[SignaturePieces]:
+    """Raw MSV pieces of every function in the batch, in row order."""
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(packed.n, selected)
+    pieces: list[SignaturePieces] = []
+    for start in range(0, len(packed), chunk_size):
+        words = packed.words[start : start + chunk_size]
+        pieces.extend(_chunk_pieces(words, packed.n, selected))
+    if "spectral" in selected:
+        from repro.spectral.signatures import spectral_signature
+
+        for index, piece in enumerate(pieces):
+            piece.spectral = spectral_signature(packed.table(index))
+    return pieces
+
+
+def _chunk_pieces(
+    words: np.ndarray, n: int, selected: tuple[str, ...]
+) -> list[SignaturePieces]:
+    batch = words.shape[0]
+    need = set(selected)
+    counts = popcount_rows(words)
+
+    columns: dict[str, list] = {}
+    # Cofactor tuples are pre-sorted vectorized: the key assembly sorts the
+    # multiset anyway, and Timsort is O(length) on the sorted (phase 0) or
+    # reverse-sorted (phase 1, complemented) runs it then receives.
+    if "ocv1" in need:
+        ones_side = masked_popcount_rows(words, _var_mask_stack(n))
+        cof1 = np.empty((batch, 2 * n), dtype=np.int64)
+        cof1[:, 1::2] = ones_side
+        cof1[:, 0::2] = counts[:, None] - ones_side
+        cof1.sort(axis=1)
+        columns["cof1"] = cof1.tolist()
+    if "ocv2" in need:
+        cof2 = _masked_counts(words, _cofactor_masks(n, 2))
+        cof2.sort(axis=1)
+        columns["cof2"] = cof2.tolist()
+    if "ocv3" in need:
+        cof3 = _masked_counts(words, _cofactor_masks(n, 3))
+        cof3.sort(axis=1)
+        columns["cof3"] = cof3.tolist()
+
+    need_profile = bool(need & {"osv", "osv_full", "osdv", "osdv_full"})
+    profile = None
+    if "oiv" in need or need_profile:
+        influences = np.empty((batch, n), dtype=np.int64)
+        if need_profile:
+            profile = np.zeros((batch, 1 << n), dtype=np.int64)
+        for i in range(n):
+            sens = sensitivity_words_packed(words, n, i)
+            if "oiv" in need:
+                influences[:, i] = popcount_rows(sens) >> 1
+            if need_profile:
+                profile += unpack_word_bits(sens, n)
+        if "oiv" in need:
+            influences.sort(axis=1)
+            columns["oiv"] = influences.tolist()
+
+    if need_profile:
+        ones = unpack_word_bits(words, n).astype(bool)
+        if "osv" in need:
+            columns["hist1"] = _level_counts(profile, ones, n).tolist()
+            columns["hist0"] = _level_counts(profile, ~ones, n).tolist()
+        if "osv_full" in need:
+            columns["hist_full"] = _level_counts(profile, None, n).tolist()
+        if "osdv" in need:
+            columns["osdv1"] = _osdv_rows(profile, ones, n).tolist()
+            columns["osdv0"] = _osdv_rows(profile, ~ones, n).tolist()
+        if "osdv_full" in need:
+            columns["osdv_full"] = _osdv_rows(profile, None, n).tolist()
+
+    names = list(columns)
+    rows = [columns[name] for name in names]
+    out = []
+    for index in range(batch):
+        piece = SignaturePieces(n=n, count=int(counts[index]))
+        for name, column in zip(names, rows):
+            setattr(piece, name, tuple(column[index]))
+        out.append(piece)
+    return out
+
+
+def _masked_counts(words: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Row popcounts under a mask stack, blocked along the mask axis.
+
+    Wide stacks (``ocv3`` at large ``n``) would otherwise materialise a
+    ``[chunk, M, W]`` AND matrix of many GB; blocking keeps every
+    intermediate under the entry budget regardless of ``M``.
+    """
+    batch, width = words.shape
+    total = masks.shape[0]
+    block = max(1, _CHUNK_BUDGET // max(1, batch * width))
+    if block >= total:
+        return masked_popcount_rows(words, masks)
+    out = np.empty((batch, total), dtype=np.int64)
+    for start in range(0, total, block):
+        stop = start + block
+        out[:, start:stop] = masked_popcount_rows(words, masks[start:stop])
+    return out
+
+
+def _level_counts(
+    profile: np.ndarray, keep: np.ndarray | None, n: int
+) -> np.ndarray:
+    """``[batch, n+1]`` histogram of the sensitivity profile over ``keep``.
+
+    Level indicators are built one at a time (not materialised as a
+    list), keeping peak memory at a couple of row-sized temporaries.
+    """
+    stacked = []
+    for s in range(n + 1):
+        level = profile == s
+        stacked.append((level & keep if keep is not None else level).sum(axis=1))
+    return np.stack(stacked, axis=1)
+
+
+def _osdv_rows(
+    profile: np.ndarray, keep: np.ndarray | None, n: int
+) -> np.ndarray:
+    """Flattened OSDV (Definition 10) for every row: ``[batch, (n+1)*n]``.
+
+    For each sensitivity level the unordered-pair Hamming-distance
+    histogram is a batched XOR auto-correlation, folded over minterm
+    weights; levels with fewer than two members contribute zero rows
+    (the convolution yields exactly that, so no special-casing).
+    """
+    batch = profile.shape[0]
+    out = np.zeros((batch, (n + 1) * n), dtype=np.int64)
+    if n == 0:
+        return out
+    size = 1 << n
+    fold = _distance_fold(n)
+    for s in range(n + 1):
+        level = profile == s
+        indicator = (level & keep) if keep is not None else level
+        if not indicator.any():
+            continue
+        # Ordered pair counts by distance j:  sum_z [wt(z)=j] (H s^2)[z] / N
+        # = s^2 @ (H @ onehot) / N  (H symmetric) — forward transform only.
+        spectrum = _fwht_inplace(indicator.astype(np.int64))
+        spectrum *= spectrum
+        histogram = (spectrum @ fold) // size
+        out[:, s * n : (s + 1) * n] = histogram >> 1  # unordered pairs
+    return out
+
+
+def fwht_batch(values: np.ndarray) -> np.ndarray:
+    """Row-wise unnormalised fast Walsh-Hadamard transform.
+
+    Same butterfly as :func:`repro.spectral.walsh.fwht`, applied along the
+    last axis of a ``[batch, size]`` int64 matrix.  The input is never
+    modified; the transform runs on a fresh copy.
+    """
+    return _fwht_inplace(np.array(values, dtype=np.int64, order="C"))
+
+
+def _fwht_inplace(out: np.ndarray) -> np.ndarray:
+    """Butterfly on a contiguous int64 array the caller owns (destroyed)."""
+    size = out.shape[-1]
+    if size == 0 or size & (size - 1):
+        raise ValueError(f"FWHT length {size} is not a power of two")
+    h = 1
+    while h < size:
+        shaped = out.reshape(-1, 2, h)
+        left = shaped[:, 0, :]
+        right = shaped[:, 1, :]
+        temp = left - right
+        left += right
+        right[:] = temp
+        h *= 2
+    return out
+
+
+@lru_cache(maxsize=8)  # [2**n, n] int64 — large at high n, keep a few live
+def _distance_fold(n: int) -> np.ndarray:
+    """``[2**n, n]`` matrix folding squared spectra to pair-distance counts.
+
+    Column ``j-1`` is the Walsh transform of the weight-``j`` indicator
+    (a Krawtchouk column): ``spectrum**2 @ fold // 2**n`` yields ordered
+    pair counts at distances ``1..n``.  Magnitudes stay below ``8**n``,
+    inside int64 for all supported ``n``.
+    """
+    weights = bitops.popcount_table(n)
+    onehot = np.zeros((1 << n, n + 1), dtype=np.int64)
+    onehot[np.arange(1 << n), weights] = 1
+    folded = fwht_batch(onehot.T).T
+    return _frozen(np.ascontiguousarray(folded[:, 1:]))
+
+
+@lru_cache(maxsize=None)
+def _var_mask_stack(n: int) -> np.ndarray:
+    """``[n, W]`` stack of packed per-variable masks."""
+    if n == 0:
+        return _frozen(np.zeros((0, bitops.words_per_table(0)), dtype=np.uint64))
+    return _frozen(np.stack([bitops.var_mask_words(n, i) for i in range(n)]))
+
+
+@lru_cache(maxsize=8)  # [M, W] stacks grow combinatorially with n and ell
+def _cofactor_masks(n: int, ell: int) -> np.ndarray:
+    """``[C(n,ell) * 2**ell, W]`` packed masks in ``cofactor_counts`` order."""
+    masks = []
+    full = bitops.table_mask(n)
+    for subset in itertools.combinations(range(n), ell):
+        for values in range(1 << ell):
+            mask = full
+            for k, i in enumerate(subset):
+                var = bitops.var_mask(n, i)
+                mask &= var if (values >> k) & 1 else ~var
+            masks.append(bitops.mask_words(mask, n))
+    if not masks:
+        return _frozen(np.zeros((0, bitops.words_per_table(n)), dtype=np.uint64))
+    return _frozen(np.stack(masks))
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only: lru_cache hands out shared objects."""
+    array.setflags(write=False)
+    return array

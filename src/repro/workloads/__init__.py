@@ -1,5 +1,11 @@
 """Workload generation: benchmark circuits, extraction, random function sets."""
 
+from repro.workloads.batched import (
+    pack_by_arity,
+    packed_consecutive_tables,
+    packed_equivalent_tables,
+    packed_random_tables,
+)
 from repro.workloads.epfl import epfl_like_suite, suite_summary
 from repro.workloads.extraction import extract_cut_functions, extraction_report
 from repro.workloads.random_functions import (
@@ -16,4 +22,8 @@ __all__ = [
     "random_tables",
     "consecutive_tables",
     "seeded_equivalent_tables",
+    "packed_random_tables",
+    "packed_consecutive_tables",
+    "packed_equivalent_tables",
+    "pack_by_arity",
 ]

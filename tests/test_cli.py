@@ -41,6 +41,21 @@ class TestCommands:
         assert main(["classify", str(path), "--method", "kitty"]) == 0
         assert "classes:   1" in capsys.readouterr().out
 
+    def test_classify_batched_engine(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n10000000\n")
+        assert main(["classify", str(path), "--engine", "batched"]) == 0
+        out = capsys.readouterr().out
+        assert "classes:   2 (ours, batched engine)" in out
+
+    def test_classify_batched_engine_requires_ours(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n")
+        assert main(
+            ["classify", str(path), "--method", "kitty", "--engine", "batched"]
+        ) == 2
+        assert "only applies" in capsys.readouterr().err
+
     def test_classify_empty_file(self, tmp_path, capsys):
         path = tmp_path / "empty.txt"
         path.write_text("\n")
