@@ -1,0 +1,134 @@
+"""Bench: sharded multi-process engine — parity first, throughput second.
+
+The acceptance contract of the sharded engine (ISSUE 2): on 10k random
+6-variable functions, :class:`repro.engine.ShardedClassifier` must
+produce buckets *byte-identical* to :class:`BatchedClassifier` for
+workers ∈ {1, 2, 4} — the parity assertion runs on every invocation and
+in CI.  Throughput of workers=1 vs workers=#CPUs is *reported* (written
+to ``results/sharded_engine.md``) but not asserted: shard fan-out only
+pays off when real cores are available, and CI runners may have one.
+
+Also measures the streaming entry point and shard-size insensitivity.
+"""
+
+import os
+import time
+
+import pytest
+
+from functools import reduce
+
+from repro.analysis.tables import write_markdown_table
+from repro.engine import BatchedClassifier, ShardedClassifier
+from repro.workloads import iter_random_tables, packed_shards, random_tables
+
+#: The acceptance workload: 10k random 6-variable functions.
+WORKLOAD_N = 6
+WORKLOAD_COUNT = 10_000
+WORKLOAD_SEED = 42
+
+#: Worker counts whose buckets must be byte-identical to the batched engine.
+PARITY_WORKERS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def acceptance_tables():
+    return random_tables(WORKLOAD_N, WORKLOAD_COUNT, WORKLOAD_SEED)
+
+
+@pytest.fixture(scope="module")
+def reference_result(acceptance_tables):
+    return BatchedClassifier().classify(acceptance_tables)
+
+
+def test_bucket_parity_and_throughput(
+    acceptance_tables, reference_result, results_dir
+):
+    """The acceptance run: parity for workers ∈ {1, 2, 4} + throughput table."""
+    reference_digest = reference_result.buckets_digest()
+    cpus = os.cpu_count() or 1
+    rows = []
+    seconds_by_workers = {}
+    for workers in sorted({*PARITY_WORKERS, cpus}):
+        t0 = time.perf_counter()
+        result = ShardedClassifier(workers=workers).classify(acceptance_tables)
+        seconds = time.perf_counter() - t0
+        assert result.buckets_digest() == reference_digest, (
+            f"workers={workers} diverged from the batched engine"
+        )
+        seconds_by_workers[workers] = seconds
+        rows.append(
+            {
+                "engine": f"sharded workers={workers}",
+                "seconds": round(seconds, 4),
+                "functions_per_s": round(WORKLOAD_COUNT / seconds),
+                "classes": result.num_classes,
+                "buckets": result.buckets_digest()[:12],
+            }
+        )
+    multi = seconds_by_workers[cpus]
+    single = seconds_by_workers[1]
+    rows.append(
+        {
+            "engine": "batched (single-process reference)",
+            "seconds": None,
+            "functions_per_s": None,
+            "classes": reference_result.num_classes,
+            "buckets": reference_digest[:12],
+        }
+    )
+    write_markdown_table(
+        rows,
+        results_dir / "sharded_engine.md",
+        title=(
+            f"Sharded engine parity + throughput "
+            f"({WORKLOAD_COUNT} random {WORKLOAD_N}-var functions, "
+            f"{cpus} CPUs: workers=1 {single:.2f}s vs "
+            f"workers={cpus} {multi:.2f}s)"
+        ),
+    )
+
+
+def test_streaming_matches_one_shot(reference_result):
+    """classify_iter over a lazy generator reproduces the one-shot buckets."""
+    classifier = ShardedClassifier(workers=2, shard_size=512)
+    streamed = classifier.classify_iter(
+        iter_random_tables(WORKLOAD_N, WORKLOAD_COUNT, WORKLOAD_SEED),
+        stream_chunk=1024,
+    )
+    assert streamed.buckets_digest() == reference_result.buckets_digest()
+
+
+def test_shard_size_insensitive(acceptance_tables, reference_result):
+    """Pathological shard sizes cannot change the output, only the speed."""
+    subset = acceptance_tables[:1_000]
+    reference = BatchedClassifier().classify(subset)
+    for shard_size in (1, 97, 100_000):
+        result = ShardedClassifier(workers=2, shard_size=shard_size).classify(
+            subset
+        )
+        assert result.buckets_digest() == reference.buckets_digest()
+
+
+def test_manual_shard_merge_matches_one_shot(reference_result):
+    """Classifying packed shards separately and merging reproduces buckets.
+
+    The workload-side sharding path: ``packed_shards`` feeds shard-sized
+    batches to independent classify calls whose results are folded with
+    ``merged_with`` — the DIY equivalent of what ``ShardedClassifier``
+    automates, and it must land on the same digest.
+    """
+    stream = iter_random_tables(WORKLOAD_N, WORKLOAD_COUNT, WORKLOAD_SEED)
+    classifier = BatchedClassifier()
+    partials = [classifier.classify(shard) for shard in packed_shards(stream, 1024)]
+    merged = reduce(lambda left, right: left.merged_with(right), partials)
+    assert merged.buckets_digest() == reference_result.buckets_digest()
+
+
+def test_sharded_classify_benchmark(benchmark, acceptance_tables):
+    """pytest-benchmark timing of the default-configuration sharded run."""
+    def run():
+        return ShardedClassifier().classify(acceptance_tables)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.num_functions == WORKLOAD_COUNT

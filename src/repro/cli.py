@@ -40,9 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument(
         "--engine",
         default="perfn",
-        choices=("perfn", "batched"),
+        choices=("perfn", "batched", "sharded"),
         help="signature engine for --method ours: one function at a time "
-        "(perfn) or the packed/vectorized batch engine (batched)",
+        "(perfn), the packed/vectorized batch engine (batched), or the "
+        "multi-process sharded engine (sharded)",
+    )
+    classify.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine sharded (default: all CPUs)",
     )
     classify.add_argument(
         "--show-classes", action="store_true", help="print class members"
@@ -91,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="skip the exact-class ground-truth column",
             )
+        if name in ("table3", "fig5"):
+            cmd.add_argument(
+                "--sharded-workers",
+                type=int,
+                default=None,
+                metavar="N",
+                help="also run the multi-process sharded engine with N workers",
+            )
     return parser
 
 
@@ -123,6 +138,14 @@ def _parse_one(text: str, n_hint: int | None) -> TruthTable:
     raise ValueError(f"cannot parse truth table {text!r}")
 
 
+#: Flag name and recovery hint for the experiment commands' worker knob
+#: (omitting it skips the sharded column, unlike classify's --workers).
+_SHARDED_WORKERS_HINT = (
+    "--sharded-workers",
+    "omit the flag to skip the sharded engine",
+)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
@@ -153,14 +176,22 @@ def main(argv=None) -> int:
     if command == "table3":
         from repro.experiments.table3 import run_table3
 
-        rows = run_table3(args.scale, exact=not args.no_exact)
+        if _bad_worker_count(args.sharded_workers, *_SHARDED_WORKERS_HINT):
+            return 2
+        rows = run_table3(
+            args.scale,
+            exact=not args.no_exact,
+            sharded_workers=args.sharded_workers,
+        )
         print(format_table(rows, title="Table III — classifier comparison"))
         return 0
     if command == "fig5":
         from repro.analysis.ascii_plot import ascii_chart
         from repro.experiments.fig5 import run_fig5
 
-        for row in run_fig5(args.scale):
+        if _bad_worker_count(args.sharded_workers, *_SHARDED_WORKERS_HINT):
+            return 2
+        for row in run_fig5(args.scale, sharded_workers=args.sharded_workers):
             series = {
                 key: row[key]
                 for key in row
@@ -186,11 +217,34 @@ def main(argv=None) -> int:
     raise AssertionError(f"unhandled command {command}")  # pragma: no cover
 
 
+def _bad_worker_count(
+    workers: int | None,
+    flag: str = "--workers",
+    recovery: str = "omit the flag to use every CPU",
+) -> bool:
+    """Report unusable worker counts; ``0`` is the classic typo."""
+    if workers is None or workers >= 1:
+        return False
+    print(
+        f"{flag} needs at least 1 worker process, got {workers} ({recovery})",
+        file=sys.stderr,
+    )
+    return True
+
+
 def _cmd_classify(args) -> int:
     from repro.baselines import get_classifier
 
-    if args.engine == "batched" and args.method != "ours":
-        print("--engine batched only applies to --method ours", file=sys.stderr)
+    if args.engine != "perfn" and args.method != "ours":
+        print(
+            f"--engine {args.engine} only applies to --method ours",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.engine != "sharded":
+        print("--workers requires --engine sharded", file=sys.stderr)
+        return 2
+    if _bad_worker_count(args.workers):
         return 2
     if args.file == "-":
         lines = sys.stdin.readlines()
@@ -206,6 +260,11 @@ def _cmd_classify(args) -> int:
 
         classifier = BatchedClassifier()
         label = "ours, batched engine"
+    elif args.engine == "sharded":
+        from repro.engine import ShardedClassifier
+
+        classifier = ShardedClassifier(workers=args.workers)
+        label = f"ours, sharded engine, {classifier.workers} workers"
     else:
         classifier = get_classifier(args.method)
         label = args.method

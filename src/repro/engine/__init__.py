@@ -11,18 +11,29 @@ the bulk counterpart the Section V-C linearity claim deserves:
 * :class:`~repro.engine.cache.SignatureCache` — LRU memoisation keyed on
   ``(table, n, parts)`` for repeated workloads;
 * :class:`~repro.engine.classifier.BatchedClassifier` — Algorithm 1 with
-  buckets byte-identical to ``FacePointClassifier``'s.
+  buckets byte-identical to ``FacePointClassifier``'s;
+* :class:`~repro.engine.sharded.ShardedClassifier` — the batched engine
+  fanned out over a ``multiprocessing`` pool, with the deterministic
+  shard merge of :mod:`repro.engine.merge`; buckets stay byte-identical
+  for every worker count.
 """
 
 from repro.engine.cache import CacheStats, SignatureCache
 from repro.engine.classifier import BatchedClassifier
+from repro.engine.merge import bucket_in_order, extend_buckets, merge_shard_keys
 from repro.engine.packed import PackedTables
+from repro.engine.sharded import DEFAULT_STREAM_CHUNK, ShardedClassifier
 from repro.engine.signatures import batched_pieces
 
 __all__ = [
     "BatchedClassifier",
+    "ShardedClassifier",
     "PackedTables",
     "SignatureCache",
     "CacheStats",
     "batched_pieces",
+    "bucket_in_order",
+    "extend_buckets",
+    "merge_shard_keys",
+    "DEFAULT_STREAM_CHUNK",
 ]

@@ -5,11 +5,13 @@ from repro.workloads.batched import (
     packed_consecutive_tables,
     packed_equivalent_tables,
     packed_random_tables,
+    packed_shards,
 )
 from repro.workloads.epfl import epfl_like_suite, suite_summary
 from repro.workloads.extraction import extract_cut_functions, extraction_report
 from repro.workloads.random_functions import (
     consecutive_tables,
+    iter_random_tables,
     random_tables,
     seeded_equivalent_tables,
 )
@@ -20,10 +22,12 @@ __all__ = [
     "extract_cut_functions",
     "extraction_report",
     "random_tables",
+    "iter_random_tables",
     "consecutive_tables",
     "seeded_equivalent_tables",
     "packed_random_tables",
     "packed_consecutive_tables",
     "packed_equivalent_tables",
     "pack_by_arity",
+    "packed_shards",
 ]

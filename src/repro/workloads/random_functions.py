@@ -23,13 +23,29 @@ from repro.core import bitops
 from repro.core.transforms import random_transform
 from repro.core.truth_table import TruthTable
 
-__all__ = ["random_tables", "consecutive_tables", "seeded_equivalent_tables"]
+__all__ = [
+    "random_tables",
+    "iter_random_tables",
+    "consecutive_tables",
+    "seeded_equivalent_tables",
+]
 
 
 def random_tables(n: int, count: int, seed: int) -> list[TruthTable]:
     """``count`` uniformly random ``n``-variable functions (deterministic)."""
+    return list(iter_random_tables(n, count, seed))
+
+
+def iter_random_tables(n: int, count: int, seed: int):
+    """Lazy :func:`random_tables`: the identical sequence, O(1) memory.
+
+    The streaming companion for :meth:`ShardedClassifier.classify_iter`
+    and any workload too large to materialise — same seed, same tables,
+    delivered one at a time.
+    """
     rng = random.Random(seed)
-    return [TruthTable.random(n, rng) for _ in range(count)]
+    for _ in range(count):
+        yield TruthTable.random(n, rng)
 
 
 def consecutive_tables(

@@ -56,6 +56,57 @@ class TestCommands:
         ) == 2
         assert "only applies" in capsys.readouterr().err
 
+    def test_classify_sharded_engine(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n10000000\n")
+        assert main(
+            ["classify", str(path), "--engine", "sharded", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "classes:   2 (ours, sharded engine, 2 workers)" in out
+
+    def test_classify_sharded_engine_default_workers(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n")
+        assert main(["classify", str(path), "--engine", "sharded"]) == 0
+        assert "sharded engine" in capsys.readouterr().out
+
+    def test_classify_sharded_engine_matches_perfn(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n00010111\n10000000\n01100110\n")
+        assert main(["classify", str(path)]) == 0
+        perfn_out = capsys.readouterr().out
+        assert main(
+            ["classify", str(path), "--engine", "sharded", "--workers", "2"]
+        ) == 0
+        sharded_out = capsys.readouterr().out
+        assert perfn_out.splitlines()[0] == sharded_out.splitlines()[0]
+        assert perfn_out.split("(")[0] == sharded_out.split("(")[0]
+
+    def test_classify_sharded_rejects_zero_workers(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n")
+        assert main(
+            ["classify", str(path), "--engine", "sharded", "--workers", "0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "at least 1 worker" in err
+        assert "omit the flag" in err  # the error must say how to recover
+
+    def test_classify_workers_requires_sharded_engine(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n")
+        assert main(["classify", str(path), "--workers", "2"]) == 2
+        assert "requires --engine sharded" in capsys.readouterr().err
+
+    def test_classify_sharded_engine_requires_ours(self, tmp_path, capsys):
+        path = tmp_path / "tables.txt"
+        path.write_text("11101000\n")
+        assert main(
+            ["classify", str(path), "--method", "kitty", "--engine", "sharded"]
+        ) == 2
+        assert "only applies" in capsys.readouterr().err
+
     def test_classify_empty_file(self, tmp_path, capsys):
         path = tmp_path / "empty.txt"
         path.write_text("\n")
@@ -115,8 +166,26 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert "ours_classes" in out
 
+    def test_table3_smoke_sharded(self, capsys):
+        assert main(
+            ["table3", "--scale", "smoke", "--no-exact", "--sharded-workers", "2"]
+        ) == 0
+        assert "ours_sharded_classes" in capsys.readouterr().out
+
+    def test_table3_rejects_zero_sharded_workers(self, capsys):
+        assert main(
+            ["table3", "--scale", "smoke", "--no-exact", "--sharded-workers", "0"]
+        ) == 2
+        assert "at least 1 worker" in capsys.readouterr().err
+
     def test_fig5_smoke(self, capsys):
         assert main(["fig5", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "cumulative seconds" in out
         assert "stability" in out
+
+    def test_fig5_smoke_sharded(self, capsys):
+        assert main(["fig5", "--scale", "smoke", "--sharded-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ours_sharded" in out
+        assert "ours_sharded_stability" in out
