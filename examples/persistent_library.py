@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Persistent class library: build once, save, reload, match with witnesses.
+
+The flow a Boolean-matching service runs: build the complete n <= 3
+class inventory, persist it to a versioned artifact, reload it, and
+resolve queries to ``(class id, NPN transform witness)`` pairs — every
+witness verified against the stored representative.
+
+Run:  python examples/persistent_library.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+from repro.library import ClassLibrary, build_exhaustive_library
+
+
+def main() -> None:
+    library = build_exhaustive_library(3)
+    print(format_table(library.stats(), title="Exhaustive n<=3 library"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "npn_library"
+        library.save(path)
+        print(f"\nsaved to {path} ({', '.join(p.name for p in path.iterdir())})")
+        reloaded = ClassLibrary.load(path)
+
+    rng = random.Random(7)
+    print("\nresolving random queries against the reloaded library:")
+    for _ in range(4):
+        query = TruthTable.random(3, rng).apply(random_transform(3, rng))
+        hit = reloaded.match(query)
+        assert hit is not None and hit.verify(query)
+        print(
+            f"  {query!s:>6} -> {hit.class_id}  witness {hit.transform}  "
+            f"(rep {hit.representative})"
+        )
+
+
+if __name__ == "__main__":
+    main()

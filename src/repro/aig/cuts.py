@@ -12,11 +12,13 @@ EPFL benchmarks.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
+
 from dataclasses import dataclass
 
 from repro.aig.network import AIG
 
-__all__ = ["Cut", "enumerate_cuts", "cut_statistics"]
+__all__ = ["Cut", "enumerate_cuts", "cut_statistics", "iter_cut_functions"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,36 @@ def enumerate_cuts(
             kept.append(Cut.of((variable,)))
         cuts[variable] = kept
     return cuts
+
+
+def iter_cut_functions(
+    aig: AIG, sizes: Iterable[int], max_cuts: int = 16
+) -> Iterator[tuple[int, Cut, "TruthTable"]]:
+    """Stream ``(root, cut, truth table)`` for every cut of a wanted size.
+
+    Every enumerated cut occurrence is yielded — including duplicate
+    functions from different nodes — so downstream consumers can count
+    honest per-cut hit rates (the library cut-matching experiment) or
+    deduplicate themselves (the extraction pipeline's behaviour).
+    Deterministic: AND variables in topological order, each node's cut
+    list in priority order.  Invalid ``sizes`` raise here, at call time,
+    not at first iteration.
+    """
+    wanted = sorted(set(sizes))
+    if not wanted or wanted[0] < 1:
+        raise ValueError("cut sizes must be positive")
+    return _iter_cut_functions(aig, wanted, max_cuts)
+
+
+def _iter_cut_functions(aig: AIG, wanted: list[int], max_cuts: int):
+    from repro.aig.simulate import cut_function
+
+    cuts = enumerate_cuts(aig, k=max(wanted), max_cuts=max_cuts)
+    wanted_set = set(wanted)
+    for variable in aig.and_variables():
+        for cut in cuts[variable]:
+            if cut.size in wanted_set:
+                yield variable, cut, cut_function(aig, variable, cut.leaves)
 
 
 def cut_statistics(cuts: dict[int, list[Cut]]) -> dict[int, int]:

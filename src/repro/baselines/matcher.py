@@ -49,6 +49,11 @@ def find_npn_transform(
     if n == 0:
         phase = (source.bits ^ target.bits) & 1
         return NPNTransform((), 0, phase)
+    if source.bits == target.bits:
+        # Identical tables need no search: the identity witnesses them.
+        # Library matching hits this constantly (queries equal to stored
+        # representatives), so skip the variable-key computation.
+        return NPNTransform.identity(n)
     size = 1 << n
     count_f, count_g = source.count_ones(), target.count_ones()
     for output_phase in (0, 1):

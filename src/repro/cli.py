@@ -6,6 +6,9 @@ Subcommands:
 * ``signatures`` — print every signature vector of one function;
 * ``suite``      — show the EPFL-like benchmark suite;
 * ``extract``    — run the cut-function extraction pipeline;
+* ``library``    — build/inspect/query a persistent NPN class library
+  (``library build | stats | match``);
+* ``cutmatch``   — enumerate AIG cuts and match them against a library;
 * ``table1 | table2 | table3 | fig5 | fig34`` — regenerate the paper's
   tables and figures at a chosen scale.
 """
@@ -76,6 +79,74 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("source", help="source truth table")
     match.add_argument("target", help="target truth table")
     match.add_argument("--n", type=int, help="variable count (needed for hex)")
+
+    library = sub.add_parser(
+        "library", help="persistent NPN class library (build | stats | match)"
+    )
+    lib_sub = library.add_subparsers(dest="library_command", required=True)
+    lib_build = lib_sub.add_parser(
+        "build", help="classify a corpus and save the class library"
+    )
+    lib_build.add_argument(
+        "--inputs",
+        default="4",
+        help="arities to cover, comma-separated (items are N or A-B ranges); "
+        "arities <= 4 are enumerated exhaustively, larger ones sampled",
+    )
+    lib_build.add_argument(
+        "--samples",
+        type=int,
+        default=20000,
+        help="random functions drawn per arity above 4 (default 20000)",
+    )
+    lib_build.add_argument("--seed", type=int, default=2023, help="sampling seed")
+    lib_build.add_argument(
+        "--out", default="npn_library", help="output directory (default npn_library)"
+    )
+    lib_build.add_argument(
+        "--engine",
+        default="batched",
+        choices=("perfn", "batched", "sharded"),
+        help="classification engine (all three build identical libraries)",
+    )
+    lib_build.add_argument(
+        "--workers", type=int, default=None, help="workers for --engine sharded"
+    )
+    lib_stats = lib_sub.add_parser("stats", help="summarise a saved library")
+    lib_stats.add_argument(
+        "--library", default="npn_library", help="library directory"
+    )
+    lib_match = lib_sub.add_parser(
+        "match", help="resolve a function to its class id + witness transform"
+    )
+    lib_match.add_argument("table", help="truth table (binary, or hex with 0x prefix)")
+    lib_match.add_argument("--n", type=int, help="variable count (needed for hex)")
+    lib_match.add_argument(
+        "--library", default="npn_library", help="library directory"
+    )
+
+    cutmatch = sub.add_parser(
+        "cutmatch",
+        help="enumerate AIG cuts and match every cut function against a library",
+    )
+    cutmatch.add_argument(
+        "--library", default="npn_library", help="library directory"
+    )
+    cutmatch.add_argument(
+        "--sizes", default="4", help="comma-separated cut sizes (default 4)"
+    )
+    cutmatch.add_argument("--scale", type=int, default=1, help="suite scale factor")
+    cutmatch.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated subset of suite circuits (default: all)",
+    )
+    cutmatch.add_argument(
+        "--max-cuts", type=int, default=16, help="priority cuts kept per node"
+    )
+    cutmatch.add_argument(
+        "--top", type=int, default=10, help="most-hit classes to report"
+    )
 
     for name, description in (
         ("table1", "signature vectors of f1/f3 (paper Table I)"),
@@ -160,6 +231,10 @@ def main(argv=None) -> int:
         return _cmd_canonical(args)
     if command == "match":
         return _cmd_match(args)
+    if command == "library":
+        return _cmd_library(args)
+    if command == "cutmatch":
+        return _cmd_cutmatch(args)
     if command == "extract":
         return _cmd_extract(args)
     if command == "table1":
@@ -255,16 +330,13 @@ def _cmd_classify(args) -> int:
     if not tables:
         print("no truth tables found", file=sys.stderr)
         return 1
-    if args.engine == "batched":
-        from repro.engine import BatchedClassifier
+    if args.method == "ours" and args.engine != "perfn":
+        from repro.engine import make_classifier
 
-        classifier = BatchedClassifier()
-        label = "ours, batched engine"
-    elif args.engine == "sharded":
-        from repro.engine import ShardedClassifier
-
-        classifier = ShardedClassifier(workers=args.workers)
-        label = f"ours, sharded engine, {classifier.workers} workers"
+        classifier = make_classifier(args.engine, workers=args.workers)
+        label = f"ours, {args.engine} engine"
+        if args.engine == "sharded":
+            label += f", {classifier.workers} workers"
     else:
         classifier = get_classifier(args.method)
         label = args.method
@@ -329,6 +401,179 @@ def _cmd_match(args) -> int:
     return 0
 
 
+def _parse_arity_spec(spec: str) -> list[int]:
+    """Parse ``--inputs``: comma-separated items, each ``N`` or ``A-B``."""
+    from repro.core.bitops import MAX_VARS
+
+    arities: set[int] = set()
+    try:
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "-" in item:
+                low, high = item.split("-", 1)
+                arities.update(range(int(low), int(high) + 1))
+            else:
+                arities.add(int(item))
+    except ValueError:
+        raise ValueError(
+            f"--inputs {spec!r} is not a comma-separated list of arities "
+            f"(items are N or A-B)"
+        ) from None
+    if not arities or min(arities) < 1:
+        raise ValueError(f"--inputs {spec!r} selects no valid arity (need n >= 1)")
+    if max(arities) > MAX_VARS:
+        raise ValueError(
+            f"--inputs {spec!r} exceeds the supported arity range "
+            f"(n <= {MAX_VARS})"
+        )
+    return sorted(arities)
+
+
+def _parse_sizes(spec: str) -> list[int]:
+    """Parse a ``--sizes`` list; rejects non-integers and sizes < 1."""
+    try:
+        sizes = [int(piece) for piece in spec.split(",")]
+    except ValueError:
+        raise ValueError(
+            f"--sizes {spec!r} is not a comma-separated list of integers"
+        ) from None
+    if not sizes or min(sizes) < 1:
+        raise ValueError(f"--sizes {spec!r} needs sizes >= 1")
+    return sizes
+
+
+def _load_library_or_fail(path: str):
+    """Load a library or print the error plus the recovery command."""
+    from repro.library import ClassLibrary, LibraryFormatError
+
+    try:
+        return ClassLibrary.load(path)
+    except LibraryFormatError as exc:
+        print(
+            f"cannot load library: {exc}\n"
+            f"(build one with: repro-npn library build --inputs 4 "
+            f"--out {path})",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _cmd_library(args) -> int:
+    if args.library_command == "build":
+        return _cmd_library_build(args)
+    library = _load_library_or_fail(args.library)
+    if library is None:
+        return 2
+    if args.library_command == "stats":
+        print(
+            format_table(
+                library.stats(),
+                title=f"Class library {args.library} — parts {library.parts}",
+            )
+        )
+        return 0
+    # library match
+    import json as json_module
+
+    tt = _parse_one(args.table, args.n)
+    hit = library.match(tt)
+    if hit is None:
+        print(f"NO MATCH: {tt!r} is outside the library's classes")
+        return 1
+    print(f"class:     {hit.class_id}")
+    print(f"rep:       {hit.representative!r}")
+    print(f"witness:   {hit.transform}")
+    print(f"witness json: {json_module.dumps(hit.transform.as_dict())}")
+    print(f"verified:  {hit.verify(tt)}")
+    return 0
+
+
+def _cmd_library_build(args) -> int:
+    from itertools import chain
+
+    from repro.library import build_library
+    from repro.workloads.library_corpus import EXHAUSTIVE_MAX_VARS, corpus_for_arity
+
+    if args.workers is not None and args.engine != "sharded":
+        print("--workers requires --engine sharded", file=sys.stderr)
+        return 2
+    if _bad_worker_count(args.workers):
+        return 2
+    try:
+        arities = _parse_arity_spec(args.inputs)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.samples < 1 and any(n > EXHAUSTIVE_MAX_VARS for n in arities):
+        print(
+            f"--samples must be >= 1 to cover arities above "
+            f"{EXHAUSTIVE_MAX_VARS}, got {args.samples}",
+            file=sys.stderr,
+        )
+        return 2
+    corpus = chain.from_iterable(
+        corpus_for_arity(n, args.samples, args.seed) for n in arities
+    )
+    library = build_library(corpus, engine=args.engine, workers=args.workers)
+    path = library.save(args.out)
+    print(
+        format_table(
+            library.stats(),
+            title=f"Class library — arities {','.join(map(str, arities))}",
+        )
+    )
+    print(f"saved {library.num_classes} classes to {path}")
+    return 0
+
+
+def _cmd_cutmatch(args) -> int:
+    from repro.experiments.cutmatch import (
+        class_hit_rows,
+        cut_match_rows,
+        run_cut_matching,
+    )
+    from repro.workloads.epfl import epfl_like_suite
+
+    library = _load_library_or_fail(args.library)
+    if library is None:
+        return 2
+    try:
+        sizes = _parse_sizes(args.sizes)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    suite = epfl_like_suite(scale=args.scale)
+    if args.circuits is not None:
+        wanted = [name.strip() for name in args.circuits.split(",") if name.strip()]
+        unknown = sorted(set(wanted) - set(suite))
+        if unknown:
+            print(
+                f"unknown circuits {unknown}; available: {sorted(suite)}",
+                file=sys.stderr,
+            )
+            return 2
+        suite = {name: suite[name] for name in wanted}
+    rows, class_hits = run_cut_matching(
+        library, suite, sizes=sizes, max_cuts=args.max_cuts
+    )
+    print(
+        format_table(
+            cut_match_rows(library, rows, class_hits),
+            title=f"Cut matching — sizes {args.sizes}, library {args.library}",
+        )
+    )
+    print()
+    print(
+        format_table(
+            class_hit_rows(library, class_hits, top=args.top),
+            title=f"Top {args.top} classes by cut hits",
+        )
+    )
+    return 0
+
+
 def _cmd_suite() -> int:
     from repro.workloads.epfl import epfl_like_suite, suite_summary
 
@@ -341,7 +586,11 @@ def _cmd_extract(args) -> int:
     from repro.workloads.epfl import epfl_like_suite
     from repro.workloads.extraction import extract_cut_functions, extraction_report
 
-    sizes = [int(piece) for piece in args.sizes.split(",")]
+    try:
+        sizes = _parse_sizes(args.sizes)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     suite = epfl_like_suite(scale=args.scale)
     functions = extract_cut_functions(
         suite.values(), sizes=sizes, limit_per_size=args.limit

@@ -151,6 +151,27 @@ class NPNTransform:
         return src
 
     # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (witness transport for the CLI and library)."""
+        return {
+            "perm": list(self.perm),
+            "input_phase": self.input_phase,
+            "output_phase": self.output_phase,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NPNTransform":
+        """Inverse of :meth:`as_dict`; validates like the constructor."""
+        return cls(
+            tuple(data["perm"]),
+            int(data.get("input_phase", 0)),
+            int(data.get("output_phase", 0)),
+        )
+
+    # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
 

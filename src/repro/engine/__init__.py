@@ -18,6 +18,8 @@ the bulk counterpart the Section V-C linearity claim deserves:
   for every worker count.
 """
 
+from repro.core.classifier import FacePointClassifier
+from repro.core.msv import DEFAULT_PARTS
 from repro.engine.cache import CacheStats, SignatureCache
 from repro.engine.classifier import BatchedClassifier
 from repro.engine.merge import bucket_in_order, extend_buckets, merge_shard_keys
@@ -25,9 +27,42 @@ from repro.engine.packed import PackedTables
 from repro.engine.sharded import DEFAULT_STREAM_CHUNK, ShardedClassifier
 from repro.engine.signatures import batched_pieces
 
+#: Engine names accepted by :func:`make_classifier` (and the CLI flags).
+ENGINE_NAMES = ("perfn", "batched", "sharded")
+
+
+def make_classifier(
+    engine: str = "batched",
+    parts=DEFAULT_PARTS,
+    workers: int | None = None,
+):
+    """One constructor for every signature engine, keyed by name.
+
+    All three produce byte-identical buckets on the same input; the
+    choice is purely a throughput knob.  ``workers`` is only meaningful
+    for the sharded engine — passing it with any other engine raises, so
+    a mis-wired CLI flag cannot be silently ignored.
+    """
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
+        )
+    if workers is not None and engine != "sharded":
+        raise ValueError(
+            f"workers only applies to the sharded engine, not {engine!r}"
+        )
+    if engine == "perfn":
+        return FacePointClassifier(parts)
+    if engine == "batched":
+        return BatchedClassifier(parts)
+    return ShardedClassifier(parts, workers=workers)
+
+
 __all__ = [
     "BatchedClassifier",
     "ShardedClassifier",
+    "ENGINE_NAMES",
+    "make_classifier",
     "PackedTables",
     "SignatureCache",
     "CacheStats",

@@ -1,0 +1,44 @@
+"""Persistent NPN class library with witness-producing matching.
+
+The missing layer between the classification engines and a reusable
+Boolean-matching service: :class:`ClassLibrary` stores one canonical
+representative per NPN signature class, persists to a versioned
+``manifest.json`` + ``classes.npz`` artifact, and resolves queries to
+``(class id, NPN transform witness)`` pairs via the signature-pruned
+pairwise matcher.  See :mod:`repro.library.store` for the data model and
+:mod:`repro.library.build` for representative election.
+"""
+
+from repro.library.build import (
+    EXACT_REP_MAX_VARS,
+    build_exhaustive_library,
+    build_library,
+    elect_representative,
+    library_from_result,
+)
+from repro.library.store import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_FILE,
+    TABLES_FILE,
+    ClassLibrary,
+    LibraryFormatError,
+    LibraryMatch,
+    NPNClassEntry,
+)
+
+__all__ = [
+    "ClassLibrary",
+    "NPNClassEntry",
+    "LibraryMatch",
+    "LibraryFormatError",
+    "build_library",
+    "build_exhaustive_library",
+    "library_from_result",
+    "elect_representative",
+    "EXACT_REP_MAX_VARS",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "TABLES_FILE",
+]

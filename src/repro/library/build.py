@@ -1,0 +1,99 @@
+"""Building class libraries from classification results and corpora.
+
+Representative election — the rule that fixes each class's canonical
+table — depends on the arity:
+
+* ``n <= EXACT_REP_MAX_VARS`` (4): the representative is the *exhaustive
+  orbit minimum* (:func:`repro.baselines.exact_enum.exact_npn_canonical`
+  on any bucket member).  At n=4 the orbit has at most 768 images, so
+  this costs microseconds per class and makes the representative a pure
+  function of the class — independent of which members were observed.
+* ``n >= 5``: enumerating ``2^(n+1) n!`` images per class is the exact
+  cost the paper's signature approach avoids, so the representative is
+  *elected*: the lexicographically smallest observed member of the
+  signature bucket.  Deterministic for a fixed corpus (the golden
+  regression corpus pins it), and stable under merges because
+  :meth:`ClassLibrary.merged_with` keeps the smaller representative.
+
+Builders accept a ready :class:`~repro.core.classifier.ClassificationResult`
+from *any* engine — per-function, batched or sharded all produce
+byte-identical buckets, so the resulting library is engine-independent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.core.classifier import ClassificationResult
+from repro.core.msv import DEFAULT_PARTS
+from repro.core.truth_table import TruthTable
+from repro.library.store import ClassLibrary
+from repro.workloads.library_corpus import exhaustive_tables
+
+__all__ = [
+    "EXACT_REP_MAX_VARS",
+    "build_library",
+    "library_from_result",
+    "build_exhaustive_library",
+    "elect_representative",
+]
+
+#: Largest arity whose representatives are exhaustive orbit minima.
+EXACT_REP_MAX_VARS = 4
+
+
+def elect_representative(members: list[TruthTable]) -> tuple[TruthTable, bool]:
+    """Canonical representative of one signature bucket (see module doc).
+
+    Returns ``(representative, exact)`` where ``exact`` records whether
+    the representative is the orbit minimum or an elected member.
+    """
+    if not members:
+        raise ValueError("cannot elect a representative from an empty bucket")
+    n = members[0].n
+    if n <= EXACT_REP_MAX_VARS:
+        return exact_npn_canonical(members[0]).representative, True
+    return min(members), False
+
+
+def library_from_result(result: ClassificationResult) -> ClassLibrary:
+    """Build a library from any engine's classification result.
+
+    Every signature bucket becomes one class; bucket membership only
+    influences elected (n >= 5) representatives, never exact ones.
+    """
+    library = ClassLibrary(result.parts)
+    for members in result.groups.values():
+        representative, exact = elect_representative(members)
+        library.add_class(representative, size=len(members), exact=exact)
+    return library
+
+
+def build_library(
+    tables: Iterable[TruthTable],
+    parts=DEFAULT_PARTS,
+    engine: str = "batched",
+    workers: int | None = None,
+) -> ClassLibrary:
+    """Classify ``tables`` with the chosen engine and build a library."""
+    from repro.engine import make_classifier
+
+    classifier = make_classifier(engine, parts=parts, workers=workers)
+    return library_from_result(classifier.classify(list(tables)))
+
+
+def build_exhaustive_library(
+    n: int,
+    parts=DEFAULT_PARTS,
+    engine: str = "batched",
+    workers: int | None = None,
+) -> ClassLibrary:
+    """Library over *all* ``2^(2^n)`` functions of ``n`` variables (n <= 4).
+
+    The complete signature-class inventory of the arity; at n = 4 this is
+    the classical 222 NPN classes.
+    """
+    return build_library(
+        exhaustive_tables(n), parts=parts, engine=engine, workers=workers
+    )

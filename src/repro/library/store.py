@@ -1,0 +1,477 @@
+"""Persistent NPN class library: canonical representatives + witness matching.
+
+A :class:`ClassLibrary` stores one entry per NPN signature class: a
+canonical representative truth table, the class size observed at build
+time, and the face/point characteristics of the representative.  The
+library closes the loop the bucketing engines leave open — a
+:class:`~repro.core.classifier.ClassificationResult` groups functions
+without ever saying *which* class a bucket is or *how* a member maps onto
+it.  Here every class has a stable identity (``n{n}-{MSV digest}``) and
+:meth:`ClassLibrary.match` recovers an explicit
+:class:`~repro.core.transforms.NPNTransform` witness mapping the stored
+representative onto any queried function, via the signature-pruned
+matcher of :mod:`repro.baselines.matcher`.
+
+Persistence is a directory holding two files:
+
+* ``manifest.json`` — format name, format version, MSV parts and the
+  per-class metadata (id, arity, size, representative hex, satisfy
+  count, influence vector);
+* ``classes.npz`` — the representatives as packed little-endian
+  ``uint64`` words plus the size/arity arrays, in manifest order.
+
+Both files are written deterministically (sorted classes, fixed zip
+timestamps), so rebuilding the same corpus yields byte-identical
+artifacts — the property the regression suite pins.  :meth:`ClassLibrary.load`
+cross-checks the two files against each other and recomputes every class
+id from its representative's signature, so corruption or a format drift
+fails loudly instead of producing garbage matches.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.matcher import find_npn_transform
+from repro.core import bitops
+from repro.core import characteristics as chars
+from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv, normalize_parts
+from repro.core.transforms import NPNTransform
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "ClassLibrary",
+    "NPNClassEntry",
+    "LibraryMatch",
+    "LibraryFormatError",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "TABLES_FILE",
+]
+
+FORMAT_NAME = "repro-npn-class-library"
+FORMAT_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+TABLES_FILE = "classes.npz"
+
+
+class LibraryFormatError(ValueError):
+    """A library artifact is missing, corrupted, or of the wrong format."""
+
+
+@dataclass(frozen=True)
+class NPNClassEntry:
+    """One NPN class: identity, canonical representative, metadata.
+
+    Attributes:
+        class_id: stable identity ``n{n}-{MSV digest}`` — a pure function
+            of the class signature, identical across builds and machines.
+        representative: the class's canonical truth table.  ``exact``
+            entries store the minimum table over the whole NPN orbit;
+            elected entries store the minimum *observed* member.
+        size: number of functions classified into this class at build
+            time (summed by :meth:`ClassLibrary.merged_with`).
+        exact: True when the representative is the exhaustive orbit
+            minimum (the n<=4 build path), False for elected ones.
+        count: satisfy count of the representative (0-ary face char.).
+        influences: ordered influence vector of the representative (the
+            point-face characteristic, an NPN invariant of the class).
+    """
+
+    class_id: str
+    representative: TruthTable
+    size: int
+    exact: bool
+    count: int
+    influences: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return self.representative.n
+
+    @classmethod
+    def from_representative(
+        cls,
+        class_id: str,
+        representative: TruthTable,
+        size: int,
+        exact: bool,
+    ) -> "NPNClassEntry":
+        """Build an entry, deriving the metadata from the representative."""
+        return cls(
+            class_id=class_id,
+            representative=representative,
+            size=size,
+            exact=exact,
+            count=representative.count_ones(),
+            influences=tuple(sorted(chars.influences(representative))),
+        )
+
+
+@dataclass(frozen=True)
+class LibraryMatch:
+    """A successful library lookup: the class plus a witness transform.
+
+    ``transform`` maps the stored representative onto the queried
+    function: ``entry.representative.apply(transform) == query``.  It is
+    verified by the matcher before being returned, and :meth:`verify`
+    re-checks it against any table.
+    """
+
+    entry: NPNClassEntry
+    transform: NPNTransform
+
+    @property
+    def class_id(self) -> str:
+        return self.entry.class_id
+
+    @property
+    def representative(self) -> TruthTable:
+        return self.entry.representative
+
+    def verify(self, query: TruthTable) -> bool:
+        """Check the witness reproduces ``query`` from the representative."""
+        return self.entry.representative.apply(self.transform) == query
+
+
+class ClassLibrary:
+    """Disk-backed collection of NPN classes with witness-producing lookup.
+
+    Args:
+        parts: MSV part selection the library's class identities are
+            defined over.  Matching a query recomputes its MSV with the
+            *same* parts, so a library only answers queries in the
+            signature space it was built in.
+
+    Example:
+        >>> from repro.library import build_exhaustive_library
+        >>> lib = build_exhaustive_library(3)
+        >>> lib.num_classes
+        14
+        >>> from repro import TruthTable
+        >>> hit = lib.match(TruthTable.majority(3))
+        >>> hit.verify(TruthTable.majority(3))
+        True
+    """
+
+    def __init__(self, parts=DEFAULT_PARTS) -> None:
+        self.parts = normalize_parts(parts)
+        self.classes: dict[str, NPNClassEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def num_functions(self) -> int:
+        """Total functions classified into the library at build time."""
+        return sum(entry.size for entry in self.classes.values())
+
+    def arities(self) -> tuple[int, ...]:
+        """Distinct variable counts covered, ascending."""
+        return tuple(sorted({entry.n for entry in self.classes.values()}))
+
+    def entries(self) -> list[NPNClassEntry]:
+        """All entries in the canonical (n, class_id) order."""
+        return sorted(
+            self.classes.values(), key=lambda e: (e.n, e.class_id)
+        )
+
+    def stats(self) -> list[dict]:
+        """Per-arity summary rows (for the CLI and reports)."""
+        rows = []
+        for n in self.arities():
+            entries = [e for e in self.classes.values() if e.n == n]
+            rows.append(
+                {
+                    "n": n,
+                    "classes": len(entries),
+                    "functions": sum(e.size for e in entries),
+                    "exact_reps": sum(1 for e in entries if e.exact),
+                    "largest_class": max(e.size for e in entries),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def class_id_of(self, signature: MixedSignature) -> str:
+        """The stable class identity for a signature."""
+        if signature.parts != self.parts:
+            raise ValueError(
+                f"signature parts {signature.parts} != library parts {self.parts}"
+            )
+        return f"n{signature.n}-{signature.digest()}"
+
+    def add_class(
+        self, representative: TruthTable, size: int, exact: bool
+    ) -> NPNClassEntry:
+        """Insert (or grow) the class of ``representative``.
+
+        The class identity is derived from the representative's own MSV —
+        legal because the MSV is an NPN invariant, so any member yields
+        the same id.  An existing entry absorbs the new size and keeps
+        the smaller representative.
+        """
+        class_id = self.class_id_of(compute_msv(representative, self.parts))
+        entry = NPNClassEntry.from_representative(
+            class_id, representative, size, exact
+        )
+        existing = self.classes.get(class_id)
+        if existing is not None:
+            entry = _merge_entries(existing, entry)
+        self.classes[class_id] = entry
+        return entry
+
+    def merged_with(self, other: "ClassLibrary") -> "ClassLibrary":
+        """Union of two libraries over the same MSV parts.
+
+        Shared classes sum their sizes and keep the lexicographically
+        smaller representative (for exact entries both sides store the
+        identical orbit minimum, so this is a no-op).
+        """
+        if other.parts != self.parts:
+            raise ValueError(
+                f"cannot merge libraries with different MSV parts: "
+                f"{self.parts} vs {other.parts}"
+            )
+        merged = ClassLibrary(self.parts)
+        merged.classes = dict(self.classes)
+        for class_id, entry in other.classes.items():
+            existing = merged.classes.get(class_id)
+            merged.classes[class_id] = (
+                entry if existing is None else _merge_entries(existing, entry)
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def lookup(self, tt: TruthTable) -> NPNClassEntry | None:
+        """The entry whose signature class contains ``tt`` (no witness)."""
+        return self.classes.get(self.class_id_of(compute_msv(tt, self.parts)))
+
+    def match(self, tt: TruthTable) -> LibraryMatch | None:
+        """Resolve ``tt`` to its class and a verified witness transform.
+
+        Returns ``None`` when no stored class shares ``tt``'s signature,
+        or when the signature bucket is hit but the matcher proves the
+        representative NPN-inequivalent (a signature collision between
+        two exact orbits — possible because the MSV is sound but not
+        exact; the miss is reported instead of a wrong class id).
+        """
+        entry = self.lookup(tt)
+        if entry is None:
+            return None
+        witness = find_npn_transform(entry.representative, tt)
+        if witness is None:
+            return None
+        return LibraryMatch(entry, witness)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write ``manifest.json`` + ``classes.npz`` under directory ``path``.
+
+        Deterministic: the same library content produces byte-identical
+        files on every run and platform (classes sorted by
+        ``(n, class_id)``, canonical JSON, fixed zip timestamps).
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        entries = self.entries()
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "parts": list(self.parts),
+            "num_classes": len(entries),
+            "num_functions": self.num_functions,
+            "classes": [
+                {
+                    "id": e.class_id,
+                    "n": e.n,
+                    "size": e.size,
+                    "exact": e.exact,
+                    "representative": e.representative.to_hex(),
+                    "count": e.count,
+                    "influences": list(e.influences),
+                }
+                for e in entries
+            ],
+        }
+        (directory / MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        words = max(
+            (bitops.words_per_table(e.n) for e in entries), default=1
+        )
+        reps = np.zeros((len(entries), words), dtype=np.uint64)
+        for row, e in enumerate(entries):
+            bits = e.representative.bits
+            for w in range(bitops.words_per_table(e.n)):
+                reps[row, w] = (bits >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
+        _write_npz_deterministic(
+            directory / TABLES_FILE,
+            {
+                "ns": np.array([e.n for e in entries], dtype=np.int64),
+                "sizes": np.array([e.size for e in entries], dtype=np.int64),
+                "exact": np.array([e.exact for e in entries], dtype=np.uint8),
+                "reps": reps,
+            },
+        )
+        return directory
+
+    @classmethod
+    def load(cls, path: str | Path, verify: bool = True) -> "ClassLibrary":
+        """Read a saved library, validating format, version and integrity.
+
+        With ``verify`` (the default) every class id is recomputed from
+        its representative's signature and cross-checked against both
+        files, so a corrupted or hand-edited artifact raises
+        :class:`LibraryFormatError` instead of mis-matching queries.
+        """
+        directory = Path(path)
+        manifest = _read_manifest(directory / MANIFEST_FILE)
+        arrays = _read_tables(directory / TABLES_FILE)
+        records = manifest["classes"]
+        if not (
+            len(records)
+            == manifest["num_classes"]
+            == len(arrays["ns"])
+            == len(arrays["sizes"])
+            == len(arrays["reps"])
+            == len(arrays["exact"])
+        ):
+            raise LibraryFormatError(
+                f"{directory}: manifest and {TABLES_FILE} disagree on the "
+                f"number of classes"
+            )
+        try:
+            library = cls(manifest["parts"])
+        except (ValueError, TypeError) as exc:
+            raise LibraryFormatError(
+                f"{directory}: manifest parts are invalid: {exc}"
+            ) from exc
+        for row, record in enumerate(records):
+            n = int(arrays["ns"][row])
+            bits = 0
+            for w in range(bitops.words_per_table(n)):
+                bits |= int(arrays["reps"][row][w]) << (64 * w)
+            rep = TruthTable(n, bits)
+            entry = NPNClassEntry.from_representative(
+                record["id"], rep, int(arrays["sizes"][row]),
+                bool(arrays["exact"][row]),
+            )
+            _check_record(directory, record, entry)
+            if verify:
+                derived = library.class_id_of(compute_msv(rep, library.parts))
+                if derived != entry.class_id:
+                    raise LibraryFormatError(
+                        f"{directory}: class {entry.class_id!r} fails its "
+                        f"signature check (recomputed {derived!r}) — the "
+                        f"artifact is corrupted or was produced by an "
+                        f"incompatible signature implementation"
+                    )
+            if entry.class_id in library.classes:
+                raise LibraryFormatError(
+                    f"{directory}: duplicate class id {entry.class_id!r}"
+                )
+            library.classes[entry.class_id] = entry
+        return library
+
+
+def _merge_entries(a: NPNClassEntry, b: NPNClassEntry) -> NPNClassEntry:
+    """Combine two entries of the same class id: sum sizes, min rep."""
+    base = a if (a.representative, not a.exact) <= (b.representative, not b.exact) else b
+    return replace(base, size=a.size + b.size)
+
+
+def _read_manifest(path: Path) -> dict:
+    if not path.exists():
+        raise LibraryFormatError(f"{path}: library manifest not found")
+    try:
+        manifest = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise LibraryFormatError(f"{path}: manifest is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise LibraryFormatError(
+            f"{path}: not a {FORMAT_NAME} manifest "
+            f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
+        )
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise LibraryFormatError(
+            f"{path}: unsupported library format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    for field in ("parts", "num_classes", "classes"):
+        if field not in manifest:
+            raise LibraryFormatError(f"{path}: manifest is missing {field!r}")
+    return manifest
+
+
+def _read_tables(path: Path) -> dict[str, np.ndarray]:
+    if not path.exists():
+        raise LibraryFormatError(f"{path}: library table file not found")
+    try:
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in ("ns", "sizes", "exact", "reps")}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise LibraryFormatError(f"{path}: cannot read table arrays: {exc}") from exc
+    return arrays
+
+
+def _check_record(directory: Path, record: dict, entry: NPNClassEntry) -> None:
+    """Cross-check one manifest record against the npz-derived entry."""
+    stored = (
+        record.get("id"),
+        record.get("n"),
+        record.get("size"),
+        bool(record.get("exact")),
+        record.get("representative"),
+    )
+    derived = (
+        entry.class_id,
+        entry.n,
+        entry.size,
+        entry.exact,
+        entry.representative.to_hex(),
+    )
+    if stored != derived:
+        raise LibraryFormatError(
+            f"{directory}: manifest record {record.get('id')!r} disagrees "
+            f"with {TABLES_FILE} ({stored} != {derived})"
+        )
+
+
+def _write_npz_deterministic(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """``np.savez`` with reproducible bytes (fixed entry order and dates).
+
+    ``np.savez`` stamps zip entries with the current time, which would
+    make otherwise-identical libraries differ byte-for-byte between
+    runs; the regression suite pins byte stability, so the archive is
+    assembled by hand with the epoch timestamp.  ``np.load`` reads it
+    like any other ``.npz``.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name in sorted(arrays):
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=(1980, 1, 1, 0, 0, 0))
+            with archive.open(info, "w") as handle:
+                np.lib.format.write_array(
+                    handle, np.ascontiguousarray(arrays[name])
+                )

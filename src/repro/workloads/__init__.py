@@ -9,6 +9,11 @@ from repro.workloads.batched import (
 )
 from repro.workloads.epfl import epfl_like_suite, suite_summary
 from repro.workloads.extraction import extract_cut_functions, extraction_report
+from repro.workloads.library_corpus import (
+    corpus_for_arity,
+    exhaustive_tables,
+    sampled_tables,
+)
 from repro.workloads.random_functions import (
     consecutive_tables,
     iter_random_tables,
@@ -30,4 +35,7 @@ __all__ = [
     "packed_equivalent_tables",
     "pack_by_arity",
     "packed_shards",
+    "exhaustive_tables",
+    "sampled_tables",
+    "corpus_for_arity",
 ]

@@ -1,0 +1,54 @@
+"""Corpora for class-library construction.
+
+Two sources feed :mod:`repro.library` builds:
+
+* :func:`exhaustive_tables` — every function of a small arity, so the
+  library holds the complete class inventory (222 NPN classes at n = 4);
+* :func:`sampled_tables` — a seeded random sample for arities where
+  ``2^(2^n)`` functions are out of reach (n >= 5), covering the heavy
+  classes first by sheer probability mass.
+
+:func:`corpus_for_arity` picks between them the way the CLI does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.truth_table import TruthTable
+from repro.workloads.random_functions import iter_random_tables
+
+__all__ = ["EXHAUSTIVE_MAX_VARS", "exhaustive_tables", "sampled_tables", "corpus_for_arity"]
+
+#: Largest arity that is enumerated exhaustively (2^(2^5) is already 2^32).
+EXHAUSTIVE_MAX_VARS = 4
+
+
+def exhaustive_tables(n: int) -> Iterator[TruthTable]:
+    """All ``2^(2^n)`` functions of ``n`` variables, ascending by table."""
+    if not 0 <= n <= EXHAUSTIVE_MAX_VARS:
+        raise ValueError(
+            f"exhaustive enumeration supports n <= {EXHAUSTIVE_MAX_VARS}, "
+            f"got {n} (use sampled_tables for larger arities)"
+        )
+    for bits in range(1 << (1 << n)):
+        yield TruthTable(n, bits)
+
+
+def sampled_tables(n: int, count: int, seed: int) -> Iterator[TruthTable]:
+    """A seeded uniform sample of ``n``-variable functions."""
+    if count < 1:
+        raise ValueError(f"sample count must be positive, got {count}")
+    return iter_random_tables(n, count, seed)
+
+
+def corpus_for_arity(n: int, samples: int, seed: int) -> Iterator[TruthTable]:
+    """Exhaustive corpus where feasible, seeded sample otherwise.
+
+    Mirrors the ``repro library build`` CLI: arities up to
+    ``EXHAUSTIVE_MAX_VARS`` enumerate everything (``samples`` is
+    ignored), larger ones draw ``samples`` seeded random functions.
+    """
+    if n <= EXHAUSTIVE_MAX_VARS:
+        return exhaustive_tables(n)
+    return sampled_tables(n, samples, seed)

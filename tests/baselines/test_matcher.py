@@ -34,6 +34,16 @@ class TestPositiveMatches:
         assert found is not None
         assert tt.apply(found) == tt
 
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_identical_tables_short_circuit_to_identity(self, n):
+        """f == g must return the identity without any search."""
+        rng = random.Random(n * 5 + 1)
+        for _ in range(10):
+            tt = TruthTable.random(n, rng)
+            found = find_npn_transform(tt, tt)
+            assert found is not None
+            assert found.is_identity
+
     def test_output_negation_match(self):
         tt = TruthTable.from_function(4, lambda a, b, c, d: a & b & (c | d))
         found = find_npn_transform(tt, ~tt)
@@ -51,6 +61,19 @@ class TestPositiveMatches:
         assert are_npn_equivalent(zero, one)
         transform = find_npn_transform(zero, one)
         assert zero.apply(transform) == one
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_are_npn_equivalent_is_symmetric(self, n):
+        """Equivalence is an equivalence relation: verdicts commute."""
+        rng = random.Random(n * 31)
+        for _ in range(12):
+            a = TruthTable.random(n, rng)
+            pairs = [
+                (a, a.apply(random_transform(n, rng))),  # equivalent pair
+                (a, TruthTable.random(n, rng)),  # usually inequivalent
+            ]
+            for x, y in pairs:
+                assert are_npn_equivalent(x, y) == are_npn_equivalent(y, x)
 
 
 class TestNegativeMatches:

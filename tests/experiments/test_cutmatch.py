@@ -1,0 +1,121 @@
+"""Tests for the AIG cut-matching experiment and the cut-function stream."""
+
+import pytest
+
+from repro.aig import builders
+from repro.aig.cuts import iter_cut_functions
+from repro.core.truth_table import TruthTable
+from repro.experiments.cutmatch import (
+    class_hit_rows,
+    cut_match_rows,
+    run_cut_matching,
+)
+from repro.library import build_exhaustive_library, build_library
+
+
+@pytest.fixture(scope="module")
+def lib23():
+    """Complete class inventory for arities 2 and 3."""
+    lib2 = build_exhaustive_library(2)
+    return lib2.merged_with(build_exhaustive_library(3))
+
+
+class TestIterCutFunctions:
+    def test_yields_only_wanted_sizes(self):
+        aig = builders.ripple_adder(4)
+        for _, cut, tt in iter_cut_functions(aig, sizes=(3,)):
+            assert cut.size == 3
+            assert tt.n == 3
+
+    def test_function_matches_cut_arity(self):
+        aig = builders.majority_voter(5)
+        seen = 0
+        for _, cut, tt in iter_cut_functions(aig, sizes=(2, 3)):
+            assert tt.n == cut.size
+            seen += 1
+        assert seen > 0
+
+    def test_deterministic_order(self):
+        aig = builders.ripple_adder(4)
+        first = [(v, c.leaves, t.bits) for v, c, t in iter_cut_functions(aig, (2, 3))]
+        second = [(v, c.leaves, t.bits) for v, c, t in iter_cut_functions(aig, (2, 3))]
+        assert first == second
+
+    def test_rejects_bad_sizes_at_call_time(self):
+        """The size check must fire eagerly, not at first iteration."""
+        aig = builders.ripple_adder(2)
+        with pytest.raises(ValueError):
+            iter_cut_functions(aig, sizes=())
+        with pytest.raises(ValueError):
+            iter_cut_functions(aig, sizes=(0,))
+
+
+class TestRunCutMatching:
+    def test_complete_library_hits_every_cut(self, lib23):
+        circuits = {
+            "adder": builders.ripple_adder(4),
+            "parity": builders.parity(6),
+        }
+        rows, class_hits = run_cut_matching(lib23, circuits, sizes=(2, 3))
+        by_name = {row["circuit"]: row for row in rows}
+        assert set(by_name) == {"adder", "parity", "TOTAL"}
+        total = by_name["TOTAL"]
+        assert total["cuts"] > 0
+        assert total["matched"] == total["cuts"]
+        assert total["hit_rate"] == 1.0
+        assert total["unique_matched"] == total["unique_functions"]
+        assert sum(class_hits.values()) == total["matched"]
+
+    def test_total_row_aggregates_circuits(self, lib23):
+        circuits = {
+            "a": builders.ripple_adder(3),
+            "b": builders.majority_voter(5),
+        }
+        rows, _ = run_cut_matching(lib23, circuits, sizes=(3,))
+        by_name = {row["circuit"]: row for row in rows}
+        assert by_name["TOTAL"]["cuts"] == by_name["a"]["cuts"] + by_name["b"]["cuts"]
+        assert (
+            by_name["TOTAL"]["matched"]
+            == by_name["a"]["matched"] + by_name["b"]["matched"]
+        )
+
+    def test_partial_library_reports_misses(self):
+        # A library holding only the AND class cannot cover an adder's
+        # XOR-shaped cuts: the hit rate must drop below 1 and the missing
+        # functions must be reported, not silently dropped.
+        tiny = build_library([TruthTable.from_function(2, lambda a, b: a & b)])
+        rows, class_hits = run_cut_matching(
+            tiny, {"adder": builders.ripple_adder(4)}, sizes=(2,)
+        )
+        total = next(row for row in rows if row["circuit"] == "TOTAL")
+        assert 0 < total["matched"] < total["cuts"]
+        assert 0 < total["hit_rate"] < 1
+        assert set(class_hits) == {entry.class_id for entry in tiny.entries()}
+
+    def test_every_reported_hit_carries_verified_witness(self, lib23):
+        aig = builders.ripple_adder(3)
+        for _, _, tt in iter_cut_functions(aig, sizes=(2, 3)):
+            hit = lib23.match(tt)
+            assert hit is not None
+            assert hit.verify(tt)
+
+
+class TestReportRows:
+    def test_class_hit_rows_are_ranked_and_capped(self, lib23):
+        circuits = {"voter": builders.majority_voter(7)}
+        _, class_hits = run_cut_matching(lib23, circuits, sizes=(2, 3))
+        rows = class_hit_rows(lib23, class_hits, top=3)
+        assert len(rows) == min(3, len(class_hits))
+        hits = [row["hits"] for row in rows]
+        assert hits == sorted(hits, reverse=True)
+        for row in rows:
+            assert row["class_id"] in lib23.classes
+
+    def test_cut_match_rows_append_library_coverage(self, lib23):
+        circuits = {"adder": builders.ripple_adder(3)}
+        rows, class_hits = run_cut_matching(lib23, circuits, sizes=(3,))
+        summary = cut_match_rows(lib23, rows, class_hits)
+        coverage = summary[-1]
+        assert coverage["circuit"] == "library classes hit"
+        assert coverage["cuts"] == len(class_hits)
+        assert 0 < coverage["hit_rate"] <= 1

@@ -1,0 +1,306 @@
+"""Tests for the persistent NPN class library (build/save/load/match/merge)."""
+
+import json
+import random
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+from repro.library import (
+    ClassLibrary,
+    LibraryFormatError,
+    build_exhaustive_library,
+    build_library,
+    elect_representative,
+)
+from repro.library.store import MANIFEST_FILE, TABLES_FILE
+from repro.workloads.library_corpus import exhaustive_tables
+from repro.workloads.random_functions import random_tables
+
+
+@pytest.fixture(scope="module")
+def lib3() -> ClassLibrary:
+    """The complete n=3 inventory: 14 NPN classes over 256 functions."""
+    return build_exhaustive_library(3)
+
+
+class TestBuild:
+    def test_exhaustive_n3_class_inventory(self, lib3):
+        assert lib3.num_classes == 14
+        assert lib3.num_functions == 256
+        assert lib3.arities() == (3,)
+
+    def test_exact_representatives_are_orbit_minima(self, lib3):
+        for entry in lib3.entries():
+            assert entry.exact
+            canonical = exact_npn_canonical(entry.representative).representative
+            assert entry.representative == canonical
+
+    def test_class_sizes_partition_the_space(self, lib3):
+        assert sum(e.size for e in lib3.entries()) == 256
+
+    def test_engines_build_identical_libraries(self):
+        tables = list(exhaustive_tables(2)) + random_tables(5, 120, seed=9)
+        built = {
+            engine: build_library(tables, engine=engine, workers=workers)
+            for engine, workers in (
+                ("perfn", None),
+                ("batched", None),
+                ("sharded", 2),
+            )
+        }
+        snapshots = {
+            engine: [
+                (e.class_id, e.representative, e.size, e.exact)
+                for e in lib.entries()
+            ]
+            for engine, lib in built.items()
+        }
+        assert snapshots["perfn"] == snapshots["batched"] == snapshots["sharded"]
+
+    def test_elected_representative_is_minimum_member(self):
+        rng = random.Random(5)
+        seed_fn = TruthTable.random(5, rng)
+        members = [seed_fn] + [
+            seed_fn.apply(random_transform(5, rng)) for _ in range(6)
+        ]
+        representative, exact = elect_representative(members)
+        assert not exact
+        assert representative == min(members)
+
+    def test_elect_rejects_empty_bucket(self):
+        with pytest.raises(ValueError):
+            elect_representative([])
+
+    def test_add_class_accumulates_size(self):
+        library = ClassLibrary()
+        maj = TruthTable.majority(3)
+        library.add_class(maj, size=2, exact=False)
+        library.add_class(~maj, size=3, exact=False)  # same class id (NPN inv.)
+        assert library.num_classes == 1
+        assert library.num_functions == 5
+
+    def test_stats_rows(self, lib3):
+        (row,) = lib3.stats()
+        assert row["n"] == 3
+        assert row["classes"] == 14
+        assert row["functions"] == 256
+        assert row["exact_reps"] == 14
+
+
+class TestMatch:
+    def test_every_function_matches_with_verified_witness(self, lib3):
+        seen = set()
+        for tt in exhaustive_tables(3):
+            hit = lib3.match(tt)
+            assert hit is not None
+            assert hit.verify(tt)
+            assert hit.representative.apply(hit.transform) == tt
+            seen.add(hit.class_id)
+        assert len(seen) == 14
+
+    def test_match_of_representative_is_identity(self, lib3):
+        for entry in lib3.entries():
+            hit = lib3.match(entry.representative)
+            assert hit.class_id == entry.class_id
+            assert hit.transform.is_identity
+
+    def test_miss_outside_covered_arities(self, lib3):
+        assert lib3.match(TruthTable.majority(5)) is None
+        assert lib3.lookup(TruthTable(2, 0b0110)) is None
+
+    def test_elected_library_matches_planted_images(self):
+        rng = random.Random(77)
+        seeds = [TruthTable.random(5, rng) for _ in range(20)]
+        corpus = [
+            s.apply(random_transform(5, rng)) for s in seeds for _ in range(3)
+        ]
+        library = build_library(corpus)
+        for seed_fn in seeds:
+            query = seed_fn.apply(random_transform(5, rng))
+            hit = library.match(query)
+            assert hit is not None
+            assert hit.verify(query)
+            assert not hit.entry.exact
+
+    def test_class_id_rejects_foreign_parts(self, lib3):
+        from repro.core.msv import compute_msv
+
+        signature = compute_msv(TruthTable.majority(3), ("c0", "oiv"))
+        with pytest.raises(ValueError):
+            lib3.class_id_of(signature)
+
+    def test_libray_match_verify_rejects_other_query(self, lib3):
+        maj = TruthTable.majority(3)
+        hit = lib3.match(maj)
+        assert hit.verify(maj)
+        assert not hit.verify(~maj)
+
+
+class TestMerge:
+    def test_merge_of_halves_equals_full_build(self):
+        tables = list(exhaustive_tables(3))
+        full = build_library(tables)
+        left = build_library(tables[:100])
+        right = build_library(tables[100:])
+        merged = left.merged_with(right)
+        assert {e.class_id: e.size for e in merged.entries()} == {
+            e.class_id: e.size for e in full.entries()
+        }
+        assert [e.representative for e in merged.entries()] == [
+            e.representative for e in full.entries()
+        ]
+
+    def test_merge_keeps_smaller_elected_representative(self):
+        rng = random.Random(13)
+        seed_fn = TruthTable.random(5, rng)
+        images = [seed_fn.apply(random_transform(5, rng)) for _ in range(8)]
+        lib_a = build_library(images[:4])
+        lib_b = build_library(images[4:])
+        merged = lib_a.merged_with(lib_b)
+        (entry,) = merged.entries()
+        assert entry.size == 8
+        assert entry.representative == min(
+            a.representative
+            for lib in (lib_a, lib_b)
+            for a in lib.entries()
+        )
+
+    def test_merge_rejects_different_parts(self, lib3):
+        other = ClassLibrary(parts=("c0", "oiv"))
+        with pytest.raises(ValueError):
+            lib3.merged_with(other)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        loaded = ClassLibrary.load(tmp_path / "lib")
+        assert loaded.parts == lib3.parts
+        assert {e.class_id for e in loaded.entries()} == {
+            e.class_id for e in lib3.entries()
+        }
+        for tt in exhaustive_tables(3):
+            original = lib3.match(tt)
+            reloaded = loaded.match(tt)
+            assert reloaded is not None
+            assert reloaded.class_id == original.class_id
+            assert reloaded.verify(tt)
+
+    def test_save_is_byte_stable(self, lib3, tmp_path):
+        first, second = tmp_path / "a", tmp_path / "b"
+        lib3.save(first)
+        build_exhaustive_library(3).save(second)  # independent rebuild
+        for name in (MANIFEST_FILE, TABLES_FILE):
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_round_trip_preserves_metadata(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        loaded = ClassLibrary.load(tmp_path / "lib")
+        for original, reloaded in zip(lib3.entries(), loaded.entries()):
+            assert original == reloaded
+
+    def test_empty_library_round_trips(self, tmp_path):
+        empty = build_library([])
+        empty.save(tmp_path / "empty")
+        loaded = ClassLibrary.load(tmp_path / "empty")
+        assert loaded.num_classes == 0
+        assert loaded.stats() == []
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(LibraryFormatError, match="not found"):
+            ClassLibrary.load(tmp_path / "nowhere")
+
+    def test_missing_tables_file(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        (tmp_path / "lib" / TABLES_FILE).unlink()
+        with pytest.raises(LibraryFormatError, match="not found"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_invalid_manifest_json(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        (tmp_path / "lib" / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(LibraryFormatError, match="not valid JSON"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_wrong_format_name(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(tmp_path / "lib", lambda m: m.update(format="pickle-dump"))
+        with pytest.raises(LibraryFormatError, match="not a repro-npn"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_unsupported_version(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(tmp_path / "lib", lambda m: m.update(version=99))
+        with pytest.raises(LibraryFormatError, match="version 99"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_class_count_mismatch(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(
+            tmp_path / "lib", lambda m: m["classes"].pop()
+        )
+        with pytest.raises(LibraryFormatError, match="number of classes"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_tampered_representative_hex(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(
+            tmp_path / "lib",
+            lambda m: m["classes"][0].update(representative="ff"),
+        )
+        with pytest.raises(LibraryFormatError, match="disagrees"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_tampered_table_words_fail_signature_check(self, lib3, tmp_path):
+        """A rep swapped consistently in both files still fails the id check."""
+        directory = tmp_path / "lib"
+        lib3.save(directory)
+        with np.load(directory / TABLES_FILE) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        # Swap class 0's representative for class 1's: both files stay
+        # mutually consistent, but the stored id no longer matches the
+        # representative's recomputed signature.
+        arrays["reps"][0] = arrays["reps"][1]
+        _write_raw_npz(directory / TABLES_FILE, arrays)
+        _edit_manifest(
+            directory,
+            lambda m: m["classes"][0].update(
+                representative=m["classes"][1]["representative"]
+            ),
+        )
+        with pytest.raises(LibraryFormatError, match="signature check"):
+            ClassLibrary.load(directory)
+        # Without verification the corruption goes through — the flag
+        # exists for trusted artifacts only.
+        ClassLibrary.load(directory, verify=False)
+
+    def test_corrupted_parts_field(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(tmp_path / "lib", lambda m: m.update(parts="garbage"))
+        with pytest.raises(LibraryFormatError, match="parts are invalid"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_corrupted_zip_payload(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        (tmp_path / "lib" / TABLES_FILE).write_bytes(b"\x00" * 64)
+        with pytest.raises(LibraryFormatError, match="cannot read"):
+            ClassLibrary.load(tmp_path / "lib")
+
+
+def _edit_manifest(directory, mutate) -> None:
+    path = directory / MANIFEST_FILE
+    manifest = json.loads(path.read_text())
+    mutate(manifest)
+    path.write_text(json.dumps(manifest))
+
+
+def _write_raw_npz(path, arrays) -> None:
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, array in arrays.items():
+            with archive.open(f"{name}.npy", "w") as handle:
+                np.lib.format.write_array(handle, array)

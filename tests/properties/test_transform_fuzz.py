@@ -1,0 +1,124 @@
+"""Seeded fuzz suite for the NPN transform group and the witness matcher.
+
+Random transforms at n = 3..6 exercise the three contracts everything
+above :mod:`repro.core.transforms` quietly relies on:
+
+* group structure — ``compose``/``inverse`` round-trip to the identity
+  and ``compose`` agrees with function composition on tables;
+* action coherence — ``apply_table`` agrees with the index-by-index
+  semantics of ``apply_index`` on every minterm;
+* witness completeness — ``find_npn_transform(f, t(f))`` always returns
+  a transform that verifiably reproduces the image.
+
+All randomness is seeded: a failure reproduces byte-for-byte.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.matcher import find_npn_transform
+from repro.core.transforms import NPNTransform, random_transform
+from repro.core.truth_table import TruthTable
+
+SEED = 0x5EED
+ROUNDS = 15
+
+ARITIES = pytest.mark.parametrize("n", range(3, 7))
+
+
+def _rng(n: int, salt: int) -> random.Random:
+    return random.Random(SEED + 1000 * n + salt)
+
+
+@ARITIES
+class TestGroupLaws:
+    def test_compose_inverse_round_trips_to_identity(self, n):
+        rng = _rng(n, 1)
+        for _ in range(ROUNDS):
+            t = random_transform(n, rng)
+            assert t.compose(t.inverse()).is_identity
+            assert t.inverse().compose(t).is_identity
+            assert t.inverse().inverse() == t
+
+    def test_inverse_undoes_the_action_on_tables(self, n):
+        rng = _rng(n, 2)
+        for _ in range(ROUNDS):
+            t = random_transform(n, rng)
+            f = TruthTable.random(n, rng)
+            assert f.apply(t).apply(t.inverse()) == f
+
+    def test_compose_agrees_with_sequential_application(self, n):
+        rng = _rng(n, 3)
+        for _ in range(ROUNDS):
+            t, u = random_transform(n, rng), random_transform(n, rng)
+            f = TruthTable.random(n, rng)
+            assert f.apply(u).apply(t) == f.apply(t.compose(u))
+
+    def test_associativity_on_tables(self, n):
+        rng = _rng(n, 4)
+        for _ in range(5):
+            a, b, c = (random_transform(n, rng) for _ in range(3))
+            f = TruthTable.random(n, rng)
+            assert f.apply(a.compose(b).compose(c)) == f.apply(
+                a.compose(b.compose(c))
+            )
+
+
+@ARITIES
+class TestActionCoherence:
+    def test_apply_table_agrees_with_apply_index(self, n):
+        """Bit ``m`` of ``t(f)`` is ``output_phase ^ f(apply_index(m))``."""
+        rng = _rng(n, 5)
+        for _ in range(ROUNDS):
+            t = random_transform(n, rng)
+            f = TruthTable.random(n, rng)
+            g = f.apply(t)
+            for index in range(1 << n):
+                expected = t.output_phase ^ f.evaluate(t.apply_index(index))
+                assert g.evaluate(index) == expected
+
+    def test_apply_index_is_a_bijection(self, n):
+        rng = _rng(n, 6)
+        for _ in range(ROUNDS):
+            t = random_transform(n, rng)
+            images = {t.apply_index(index) for index in range(1 << n)}
+            assert images == set(range(1 << n))
+
+
+@ARITIES
+class TestWitnessRecovery:
+    def test_matcher_always_returns_a_verified_witness(self, n):
+        rng = _rng(n, 7)
+        for _ in range(ROUNDS):
+            f = TruthTable.random(n, rng)
+            t = random_transform(n, rng)
+            image = f.apply(t)
+            witness = find_npn_transform(f, image)
+            assert witness is not None
+            assert f.apply(witness) == image
+
+    def test_witness_inverse_maps_back(self, n):
+        rng = _rng(n, 8)
+        for _ in range(5):
+            f = TruthTable.random(n, rng)
+            image = f.apply(random_transform(n, rng))
+            witness = find_npn_transform(f, image)
+            assert image.apply(witness.inverse()) == f
+
+
+@ARITIES
+def test_as_dict_round_trip(n):
+    rng = _rng(n, 9)
+    for _ in range(ROUNDS):
+        t = random_transform(n, rng)
+        assert NPNTransform.from_dict(t.as_dict()) == t
+
+
+def test_from_dict_rejects_invalid_payloads():
+    with pytest.raises(ValueError):
+        NPNTransform.from_dict({"perm": [0, 0, 1]})
+    with pytest.raises(ValueError):
+        NPNTransform.from_dict({"perm": [0, 1], "input_phase": 4})
+    with pytest.raises(ValueError):
+        NPNTransform.from_dict({"perm": [0, 1], "output_phase": 2})

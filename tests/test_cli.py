@@ -151,6 +151,130 @@ class TestCommands:
             main([])
 
 
+class TestLibraryCommands:
+    @pytest.fixture(scope="class")
+    def lib_dir(self, tmp_path_factory):
+        """One n<=3 library built through the CLI, shared by the class."""
+        path = tmp_path_factory.mktemp("library") / "lib3"
+        assert main(
+            ["library", "build", "--inputs", "1-3", "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_build_reports_classes(self, tmp_path, capsys):
+        out_dir = tmp_path / "lib"
+        assert main(
+            ["library", "build", "--inputs", "3", "--out", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saved 14 classes" in out
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "classes.npz").exists()
+
+    def test_build_rejects_bad_arity_spec(self, tmp_path, capsys):
+        assert main(
+            ["library", "build", "--inputs", "0", "--out", str(tmp_path / "x")]
+        ) == 2
+        assert "no valid arity" in capsys.readouterr().err
+
+    def test_build_rejects_unsupported_arity(self, tmp_path, capsys):
+        assert main(
+            ["library", "build", "--inputs", "21", "--out", str(tmp_path / "x")]
+        ) == 2
+        assert "supported arity range" in capsys.readouterr().err
+
+    def test_build_rejects_garbage_arity_spec(self, tmp_path, capsys):
+        assert main(
+            ["library", "build", "--inputs", "3,x", "--out", str(tmp_path / "x")]
+        ) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_build_workers_requires_sharded(self, tmp_path, capsys):
+        assert main(
+            [
+                "library", "build", "--inputs", "3",
+                "--out", str(tmp_path / "x"), "--workers", "2",
+            ]
+        ) == 2
+        assert "requires --engine sharded" in capsys.readouterr().err
+
+    def test_build_rejects_unsampled_large_arity(self, tmp_path, capsys):
+        assert main(
+            [
+                "library", "build", "--inputs", "5", "--samples", "0",
+                "--out", str(tmp_path / "x"),
+            ]
+        ) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_stats(self, lib_dir, capsys):
+        assert main(["library", "stats", "--library", str(lib_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "classes" in out
+        assert "14" in out
+
+    def test_match_hit_prints_verified_witness(self, lib_dir, capsys):
+        assert main(
+            ["library", "match", "11101000", "--library", str(lib_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "class:     n3-" in out
+        assert "witness:" in out
+        assert '"perm"' in out
+        assert "verified:  True" in out
+
+    def test_match_miss_outside_library(self, lib_dir, capsys):
+        assert main(
+            [
+                "library", "match", "0xe8e8e8e8", "--n", "5",
+                "--library", str(lib_dir),
+            ]
+        ) == 1
+        assert "NO MATCH" in capsys.readouterr().out
+
+    def test_match_unreadable_library_says_how_to_build(self, tmp_path, capsys):
+        assert main(
+            ["library", "match", "11101000", "--library", str(tmp_path / "no")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot load library" in err
+        assert "library build" in err  # recovery hint
+
+    def test_cutmatch_end_to_end(self, lib_dir, capsys):
+        assert main(
+            [
+                "cutmatch", "--library", str(lib_dir), "--sizes", "3",
+                "--circuits", "adder,parity", "--top", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cut matching" in out
+        assert "TOTAL" in out
+        assert "Top 5 classes" in out
+        assert "n3-" in out
+
+    def test_cutmatch_rejects_bad_sizes(self, lib_dir, capsys):
+        for spec in ("4,", "0", "zz"):
+            assert main(
+                ["cutmatch", "--library", str(lib_dir), "--sizes", spec]
+            ) == 2
+            assert "--sizes" in capsys.readouterr().err
+
+    def test_extract_rejects_bad_sizes(self, capsys):
+        assert main(["extract", "--sizes", "3,"]) == 2
+        assert "--sizes" in capsys.readouterr().err
+
+    def test_cutmatch_rejects_unknown_circuit(self, lib_dir, capsys):
+        assert main(
+            ["cutmatch", "--library", str(lib_dir), "--circuits", "nonesuch"]
+        ) == 2
+        assert "unknown circuits" in capsys.readouterr().err
+
+    def test_cutmatch_requires_loadable_library(self, tmp_path, capsys):
+        assert main(["cutmatch", "--library", str(tmp_path / "no")]) == 2
+        assert "cannot load library" in capsys.readouterr().err
+
+
 @pytest.mark.integration
 class TestExperimentCommands:
     """End-to-end table/figure regeneration at smoke scale."""
