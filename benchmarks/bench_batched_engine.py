@@ -70,7 +70,7 @@ def test_warm_cache_classify(benchmark, acceptance_tables):
     assert classifier.cache_stats.hit_rate > 0.5
 
 
-def test_speedup_and_bucket_parity(acceptance_tables, results_dir):
+def test_speedup_and_bucket_parity(acceptance_tables, results_dir, persist_bench):
     """The engine's contract: >= 3x throughput, byte-identical buckets.
 
     The batched side takes the best of two cold runs so a scheduler blip
@@ -118,6 +118,19 @@ def test_speedup_and_bucket_parity(acceptance_tables, results_dir):
             f"({WORKLOAD_COUNT} random {WORKLOAD_N}-var functions, "
             f"{speedup:.1f}x speedup)"
         ),
+    )
+    persist_bench(
+        "batched_engine",
+        {
+            "workload": {
+                "n": WORKLOAD_N,
+                "count": WORKLOAD_COUNT,
+                "seed": WORKLOAD_SEED,
+            },
+            "min_speedup_required": MIN_SPEEDUP,
+            "speedup": round(speedup, 3),
+            "rows": rows,
+        },
     )
 
 

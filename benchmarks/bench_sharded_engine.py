@@ -42,7 +42,7 @@ def reference_result(acceptance_tables):
 
 
 def test_bucket_parity_and_throughput(
-    acceptance_tables, reference_result, results_dir
+    acceptance_tables, reference_result, results_dir, persist_bench
 ):
     """The acceptance run: parity for workers ∈ {1, 2, 4} + throughput table."""
     reference_digest = reference_result.buckets_digest()
@@ -86,6 +86,23 @@ def test_bucket_parity_and_throughput(
             f"{cpus} CPUs: workers=1 {single:.2f}s vs "
             f"workers={cpus} {multi:.2f}s)"
         ),
+    )
+    persist_bench(
+        "sharded_engine",
+        {
+            "workload": {
+                "n": WORKLOAD_N,
+                "count": WORKLOAD_COUNT,
+                "seed": WORKLOAD_SEED,
+            },
+            "cpus": cpus,
+            "parity_workers": list(PARITY_WORKERS),
+            "seconds_by_workers": {
+                str(workers): round(seconds, 4)
+                for workers, seconds in seconds_by_workers.items()
+            },
+            "rows": rows,
+        },
     )
 
 

@@ -8,6 +8,9 @@ Subcommands:
 * ``extract``    — run the cut-function extraction pipeline;
 * ``library``    — build/inspect/query a persistent NPN class library
   (``library build | stats | match``);
+* ``serve``      — run the online classification daemon on a library;
+* ``query``      — talk to a running daemon (``query match | classify |
+  stats | ping``);
 * ``cutmatch``   — enumerate AIG cuts and match them against a library;
 * ``table1 | table2 | table3 | fig5 | fig34`` — regenerate the paper's
   tables and figures at a chosen scale.
@@ -21,6 +24,8 @@ import sys
 from repro.analysis.tables import format_table
 from repro.baselines.base import registered_classifiers
 from repro.core.truth_table import TruthTable
+from repro.engine import ENGINE_NAMES
+from repro.service.coalescer import SERVICE_ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -43,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument(
         "--engine",
         default="perfn",
-        choices=("perfn", "batched", "sharded"),
+        choices=ENGINE_NAMES,
         help="signature engine for --method ours: one function at a time "
         "(perfn), the packed/vectorized batch engine (batched), or the "
         "multi-process sharded engine (sharded)",
@@ -106,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     lib_build.add_argument(
         "--engine",
         default="batched",
-        choices=("perfn", "batched", "sharded"),
+        choices=ENGINE_NAMES,
         help="classification engine (all three build identical libraries)",
     )
     lib_build.add_argument(
@@ -124,6 +129,70 @@ def build_parser() -> argparse.ArgumentParser:
     lib_match.add_argument(
         "--library", default="npn_library", help="library directory"
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the online classification daemon on a library"
+    )
+    serve.add_argument(
+        "--library", default="npn_library", help="library directory to serve"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8355, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--engine",
+        default="batched",
+        choices=SERVICE_ENGINES,
+        help="in-process signature engine (sharded runs as many daemons)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="most requests coalesced into one engine batch (1 disables)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a non-full batch waits for stragglers",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=8192,
+        help="request queue bound; beyond it clients get 'overloaded'",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1 << 16,
+        help="LRU match-cache capacity (0 disables)",
+    )
+
+    query = sub.add_parser(
+        "query", help="query a running daemon (match | classify | stats | ping)"
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    for name, description in (
+        ("match", "resolve a function to class id + witness transform"),
+        ("classify", "signature class id of a function (no witness)"),
+    ):
+        q = query_sub.add_parser(name, help=description)
+        q.add_argument("table", help="truth table (binary, or hex with 0x prefix)")
+        q.add_argument("--n", type=int, help="variable count (needed for hex)")
+        q.add_argument(
+            "--addr", default="127.0.0.1:8355", help="daemon address host:port"
+        )
+    for name, description in (
+        ("stats", "print the daemon's metrics snapshot"),
+        ("ping", "liveness check"),
+    ):
+        q = query_sub.add_parser(name, help=description)
+        q.add_argument(
+            "--addr", default="127.0.0.1:8355", help="daemon address host:port"
+        )
 
     cutmatch = sub.add_parser(
         "cutmatch",
@@ -192,21 +261,11 @@ def parse_tables(lines, n_hint: int | None = None) -> list[TruthTable]:
 
 
 def _parse_one(text: str, n_hint: int | None) -> TruthTable:
-    if text.startswith("0x") or n_hint is not None and any(
-        c in "abcdefABCDEF" for c in text
-    ):
-        if n_hint is None:
-            digits = len(text.removeprefix("0x"))
-            bits = digits * 4
-            if bits & (bits - 1):
-                raise ValueError(
-                    f"cannot infer variable count from {text!r}; pass --n"
-                )
-            n_hint = bits.bit_length() - 1
-        return TruthTable.from_hex(n_hint, text)
-    if set(text) <= {"0", "1"} and len(text) >= 2:
-        return TruthTable.from_binary(text)
-    raise ValueError(f"cannot parse truth table {text!r}")
+    # One grammar for every entry path: the CLI parses tables exactly
+    # like a service request payload does.
+    from repro.service.protocol import parse_table_text
+
+    return parse_table_text(text, n_hint)
 
 
 #: Flag name and recovery hint for the experiment commands' worker knob
@@ -233,6 +292,10 @@ def main(argv=None) -> int:
         return _cmd_match(args)
     if command == "library":
         return _cmd_library(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "query":
+        return _cmd_query(args)
     if command == "cutmatch":
         return _cmd_cutmatch(args)
     if command == "extract":
@@ -526,6 +589,97 @@ def _cmd_library_build(args) -> int:
     )
     print(f"saved {library.num_classes} classes to {path}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ClassificationService
+    from repro.service.coalescer import validate_service_knobs
+
+    # Knob validation first (the Coalescer's own rules), so a flag typo
+    # fails before the potentially expensive library load.
+    try:
+        validate_service_knobs(
+            engine=args.engine,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_pending=args.max_pending,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    library = _load_library_or_fail(args.library)
+    if library is None:
+        return 2
+    service = ClassificationService(
+        library,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as json_module
+
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient.from_address(args.addr)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        with client:
+            if args.query_command == "stats":
+                print(json_module.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.query_command == "ping":
+                print(json_module.dumps(client.ping(), sort_keys=True))
+                return 0
+            try:
+                tt = _parse_one(args.table, args.n)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            if args.query_command == "classify":
+                result = client.classify(tt)
+                print(f"class:     {result['class_id']}")
+                print(f"known:     {result['known']}")
+                return 0
+            # query match
+            result = client.match(tt)
+            if not result["hit"]:
+                print(f"NO MATCH: {tt!r} is outside the served classes")
+                return 1
+            print(f"class:     {result['class_id']}")
+            print(f"rep:       0x{result['representative']}")
+            print(f"witness json: {json_module.dumps(result['transform'])}")
+            print(f"cached:    {result['cached']}")
+            verified = ServiceClient.verify(result, tt)
+            print(f"verified:  {verified}")
+            return 0 if verified else 1
+    except ServiceError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"cannot reach {args.addr}: {exc}\n"
+            f"(start a daemon with: repro-npn serve --library npn_library)",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _cmd_cutmatch(args) -> int:

@@ -105,6 +105,14 @@ class FacePointClassifier:
         """The MSV of one function under this classifier's part selection."""
         return compute_msv(tt, self.parts)
 
+    def signatures(self, tables: Iterable[TruthTable]) -> list[MixedSignature]:
+        """MSVs of many functions, in input order.
+
+        The bulk entry point every engine shares (the batched engine
+        overrides it with a vectorized pass); here it is a plain loop.
+        """
+        return [self.signature(tt) for tt in tables]
+
     def classify(self, tables: Iterable[TruthTable]) -> ClassificationResult:
         """Group functions into NPN classes by signature hashing."""
         result = ClassificationResult(self.parts)

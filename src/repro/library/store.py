@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import zipfile
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -273,13 +274,54 @@ class ClassLibrary:
         two exact orbits — possible because the MSV is sound but not
         exact; the miss is reported instead of a wrong class id).
         """
-        entry = self.lookup(tt)
-        if entry is None:
-            return None
-        witness = find_npn_transform(entry.representative, tt)
-        if witness is None:
-            return None
-        return LibraryMatch(entry, witness)
+        return self.match_many([tt])[0]
+
+    def match_many(
+        self,
+        tts: Iterable[TruthTable],
+        signatures: Sequence[MixedSignature] | None = None,
+    ) -> list[LibraryMatch | None]:
+        """Resolve many queries in one signature pass, preserving order.
+
+        All query signatures are computed in a single vectorized batch
+        through the packed engine (arities may be mixed), then each query
+        runs the per-pair witness search against its class entry.  The
+        online service's coalescer calls this with ``signatures`` it
+        already computed on its shared engine; leave it ``None`` to let
+        the library compute them on a lazily created batched classifier
+        whose signature cache persists across calls.
+        """
+        tts = list(tts)
+        if signatures is None:
+            signatures = self._signature_engine().signatures(tts)
+        else:
+            signatures = list(signatures)
+            if len(signatures) != len(tts):
+                raise ValueError(
+                    f"{len(signatures)} signatures for {len(tts)} queries"
+                )
+        out: list[LibraryMatch | None] = []
+        for tt, signature in zip(tts, signatures):
+            entry = self.classes.get(self.class_id_of(signature))
+            if entry is None:
+                out.append(None)
+                continue
+            witness = find_npn_transform(entry.representative, tt)
+            out.append(None if witness is None else LibraryMatch(entry, witness))
+        return out
+
+    def _signature_engine(self):
+        """Shared batched classifier for bulk signature computation."""
+        engine = getattr(self, "_bulk_engine", None)
+        if engine is None:
+            # Imported lazily: repro.engine depends on repro.core only,
+            # but keeping the library importable without the engine
+            # package keeps layering honest for light-weight consumers.
+            from repro.engine import BatchedClassifier
+
+            engine = BatchedClassifier(self.parts)
+            self._bulk_engine = engine
+        return engine
 
     # ------------------------------------------------------------------
     # Persistence

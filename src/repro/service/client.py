@@ -1,0 +1,238 @@
+"""Blocking NDJSON client for scripts, tests, and the ``repro query`` CLI.
+
+:class:`ServiceClient` keeps one persistent connection and speaks the
+native line protocol.  Two calling styles:
+
+* request/reply — :meth:`match`, :meth:`classify`, :meth:`stats`,
+  :meth:`ping` each send one line and block for its reply;
+* pipelined — :meth:`match_many` writes *all* request lines before
+  reading any reply, which is what lets the daemon's coalescer fold a
+  client's burst into a handful of engine batches.  Replies are
+  re-associated by ``id``, so out-of-order replies (possible when some
+  requests hit the match cache) are handled.
+
+Errors come back as :class:`ServiceError` carrying the daemon's typed
+category (``overloaded``, ``bad_request``, ...), so callers can retry
+or fail per type.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.core.transforms import NPNTransform
+from repro.core.truth_table import TruthTable
+from repro.service.protocol import MAX_LINE_BYTES
+
+__all__ = ["ServiceClient", "ServiceError", "parse_address"]
+
+
+class ServiceError(RuntimeError):
+    """An error reply (or transport failure) from the daemon."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"[{error_type}] {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Parse ``host:port`` (the ``--addr`` grammar of the CLI)."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be host:port, got {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"port in {address!r} is not an integer") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"port {port} out of range")
+    return host, port
+
+
+class ServiceClient:
+    """One blocking connection to a classification daemon.
+
+    Usable as a context manager; connects lazily on first use.
+
+    Example:
+        >>> with ServiceClient("127.0.0.1", 8355) as client:  # doctest: +SKIP
+        ...     client.match("0xe8", n=3)["class_id"]
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8355, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    @classmethod
+    def from_address(cls, address: str, timeout: float = 30.0) -> "ServiceClient":
+        host, port = parse_address(address)
+        return cls(host, port, timeout)
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def match(self, table, n: int | None = None) -> dict:
+        """Resolve one function to ``{hit, class_id, transform, ...}``."""
+        return self._roundtrip(self._table_request("match", table, n))
+
+    def classify(self, table, n: int | None = None) -> dict:
+        """Signature class id of one function (no witness search)."""
+        return self._roundtrip(self._table_request("classify", table, n))
+
+    def stats(self) -> dict:
+        """The daemon's :class:`ServiceMetrics` snapshot."""
+        return self._roundtrip({"op": "stats", "id": self._take_id()})
+
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping", "id": self._take_id()})
+
+    def match_many(self, tables) -> list[dict]:
+        """Pipelined matches: send every request, then collect replies.
+
+        Results come back in *argument order* regardless of the order the
+        daemon answered in.  Error replies surface as the first
+        :class:`ServiceError` after all replies arrived, so one
+        ``overloaded`` answer cannot strand the rest of the pipeline
+        unread.
+        """
+        requests = [self._table_request("match", table) for table in tables]
+        if not requests:
+            return []
+        self.connect()
+        payload = b"".join(
+            json.dumps(req, sort_keys=True).encode() + b"\n" for req in requests
+        )
+        self._file.write(payload)
+        self._file.flush()
+        by_id: dict[object, dict] = {}
+        for _ in requests:
+            reply = self._read_reply()
+            by_id[reply.get("id")] = reply
+        results = []
+        first_error: ServiceError | None = None
+        for req in requests:
+            reply = by_id.get(req["id"])
+            if reply is None:
+                raise ServiceError("internal", f"no reply for id {req['id']}")
+            if not reply.get("ok"):
+                error = reply.get("error", {})
+                first_error = first_error or ServiceError(
+                    error.get("type", "internal"), error.get("message", "")
+                )
+                results.append(None)
+            else:
+                results.append(reply["result"])
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
+    # Result helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def transform_of(result: dict) -> NPNTransform:
+        """The witness of a ``match`` hit as an :class:`NPNTransform`."""
+        if not result.get("hit"):
+            raise ValueError("match result is a miss; no witness to decode")
+        return NPNTransform.from_dict(result["transform"])
+
+    @staticmethod
+    def representative_of(result: dict) -> TruthTable:
+        """The stored representative of a ``match`` hit."""
+        if not result.get("hit"):
+            raise ValueError("match result is a miss; no representative")
+        return TruthTable.from_hex(result["n"], result["representative"])
+
+    @staticmethod
+    def verify(result: dict, query: TruthTable) -> bool:
+        """Offline re-check: the served witness maps rep onto ``query``."""
+        rep = ServiceClient.representative_of(result)
+        return rep.apply(ServiceClient.transform_of(result)) == query
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _table_request(self, op: str, table, n: int | None = None) -> dict:
+        if isinstance(table, TruthTable):
+            text, n = f"0x{table.to_hex()}", table.n
+        elif isinstance(table, str):
+            text = table
+        else:
+            raise TypeError(f"table must be TruthTable or str, got {type(table)}")
+        request = {"op": op, "id": self._take_id(), "table": text}
+        if n is not None:
+            request["n"] = n
+        return request
+
+    def _roundtrip(self, request: dict) -> dict:
+        self.connect()
+        self._file.write(json.dumps(request, sort_keys=True).encode() + b"\n")
+        self._file.flush()
+        reply = self._read_reply()
+        if not reply.get("ok"):
+            error = reply.get("error", {})
+            raise ServiceError(
+                error.get("type", "internal"), error.get("message", "")
+            )
+        return reply["result"]
+
+    def _read_reply(self) -> dict:
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ServiceError("internal", "connection closed by the daemon")
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError("internal", f"unparseable reply: {exc}") from None
+        if not isinstance(reply, dict):
+            raise ServiceError("internal", "reply is not a JSON object")
+        return reply

@@ -1,0 +1,328 @@
+"""Micro-batching request coalescer: many requests, one packed batch.
+
+The throughput story of the offline engines is amortisation — one
+``PackedTables`` batch turns Algorithm 1's per-function loop into a
+handful of NumPy passes.  An online daemon naturally receives requests
+one at a time, which would forfeit exactly that amortisation; the
+coalescer wins it back:
+
+1. every request lands in a bounded FIFO queue (a full queue raises the
+   typed ``overloaded`` error immediately — backpressure, not buffering
+   until death);
+2. a single worker task gathers whatever is queued, up to ``max_batch``
+   requests, waiting at most ``max_wait_ms`` for stragglers once the
+   first request of a batch arrived;
+3. the batch's signatures are computed in one vectorized pass on the
+   shared engine (built by :func:`repro.engine.make_classifier`) and
+   matches resolved through :meth:`ClassLibrary.match_many`, off the
+   event loop on a dedicated executor thread so I/O keeps flowing —
+   and keeps *filling the next batch* — while NumPy crunches;
+4. results fan back out through per-request futures, with ``match``
+   outcomes recorded in the LRU :class:`~repro.service.cache.MatchCache`
+   (hits short-circuit before ever reaching a batch).
+
+``max_batch=1`` degenerates to classic request-at-a-time serving — the
+configuration the throughput benchmark uses as its baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.msv import compute_msv
+from repro.core.truth_table import TruthTable
+from repro.engine import make_classifier
+from repro.library.store import ClassLibrary
+from repro.service.cache import MatchCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import ProtocolError
+
+__all__ = [
+    "Coalescer",
+    "validate_service_knobs",
+    "SERVICE_ENGINES",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_MS",
+    "DEFAULT_MAX_PENDING",
+]
+
+DEFAULT_MAX_BATCH = 256
+DEFAULT_MAX_WAIT_MS = 2.0
+DEFAULT_MAX_PENDING = 8192
+
+#: Engines an asyncio daemon can host in-process.  The sharded engine
+#: owns a multiprocessing pool whose lifecycle fights the event loop's;
+#: scale-out for the service is many daemons behind a load balancer.
+SERVICE_ENGINES = ("perfn", "batched")
+
+_CLOSE = object()  # queue sentinel: drain what is queued, then stop
+
+
+def validate_service_knobs(
+    engine: str = "batched",
+    max_batch: int = DEFAULT_MAX_BATCH,
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    cache_size: int = 0,
+) -> None:
+    """Reject unusable service configuration with a clear ValueError.
+
+    The single source of truth for knob ranges: the :class:`Coalescer`
+    constructor enforces them through this function, and the CLI calls
+    it *before* loading a (potentially large) library so flag typos fail
+    fast.
+    """
+    if engine not in SERVICE_ENGINES:
+        raise ValueError(
+            f"service engine must be one of {', '.join(SERVICE_ENGINES)}, "
+            f"got {engine!r}"
+        )
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    if max_wait_ms < 0:
+        raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+    if max_pending < 1:
+        raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+    if cache_size < 0:
+        raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+
+
+@dataclass
+class _Pending:
+    """One enqueued request waiting for its batch."""
+
+    op: str
+    table: TruthTable
+    future: asyncio.Future = field(repr=False)
+
+
+class Coalescer:
+    """Gathers concurrent classify/match requests into engine batches.
+
+    Args:
+        library: the loaded :class:`ClassLibrary` queries resolve against.
+        engine: signature engine name (see :data:`SERVICE_ENGINES`).
+        max_batch: most requests folded into one engine batch.
+        max_wait_ms: how long a non-full batch waits for stragglers after
+            its first request arrived.  ``0`` never waits — it still
+            coalesces whatever is already queued.
+        max_pending: bound of the request queue; submissions beyond it
+            fail fast with ``overloaded``.
+        cache_size: LRU capacity of the match cache (``0`` disables).
+        metrics: shared :class:`ServiceMetrics` (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        library: ClassLibrary,
+        engine: str = "batched",
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        cache_size: int = 1 << 16,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        validate_service_knobs(
+            engine=engine,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+            cache_size=cache_size,
+        )
+        self.library = library
+        self.classifier = make_classifier(engine, parts=library.parts)
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache = MatchCache(cache_size)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+        # One worker thread: batches are sequential by design (the whole
+        # point is one big batch, not many small concurrent ones).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-batch"
+        )
+        self._worker: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the batching worker on the running event loop."""
+        if self._worker is None:
+            self._worker = asyncio.ensure_future(self._run())
+
+    @property
+    def closing(self) -> bool:
+        return self._closed
+
+    async def stop(self) -> None:
+        """Drain: process everything queued, then stop the worker.
+
+        Requests submitted after ``stop`` begins fail with
+        ``shutting_down``; requests already queued are answered.
+        """
+        if self._closed:
+            if self._worker is not None:
+                await self._worker
+            return
+        self._closed = True
+        # The sentinel goes behind every already-queued request, so the
+        # worker consumes the backlog first.  put() may need to wait for
+        # queue space on an overloaded daemon — that is fine, drain is
+        # allowed to take as long as the backlog does.
+        await self._queue.put(_CLOSE)
+        if self._worker is not None:
+            await self._worker
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, op: str, table: TruthTable) -> asyncio.Future:
+        """Enqueue one request; the returned future resolves to its result.
+
+        ``match`` futures resolve to ``(LibraryMatch | None, cached)``;
+        ``classify`` futures to ``(class_id, known)``.  Raises
+        :class:`ProtocolError` with type ``overloaded`` on a full queue
+        and ``shutting_down`` during drain.
+        """
+        if self._closed:
+            raise ProtocolError(
+                "shutting_down", "service is draining; retry elsewhere"
+            )
+        future = asyncio.get_running_loop().create_future()
+        if op == "match":
+            found, outcome = self.cache.get(table)
+            self.metrics.record_cache(found)
+            if found:
+                future.set_result((outcome, True))
+                return future
+        pending = _Pending(op=op, table=table, future=future)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            raise ProtocolError(
+                "overloaded",
+                f"pending queue is full ({self._queue.maxsize} requests); "
+                f"retry later",
+            ) from None
+        return future
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _CLOSE:
+                return
+            batch = [first]
+            stop_after = await self._fill(batch)
+            live = [p for p in batch if not p.future.cancelled()]
+            if live:
+                self.metrics.record_batch(len(live))
+                try:
+                    results = await loop.run_in_executor(
+                        self._executor, self._process, live
+                    )
+                except Exception as exc:  # engine bug — fail the batch, not the daemon
+                    error = ProtocolError(
+                        "internal", f"batch processing failed: {exc!r}"
+                    )
+                    for pending in live:
+                        if not pending.future.done():
+                            pending.future.set_exception(error)
+                else:
+                    self._publish(live, results)
+            if stop_after:
+                return
+
+    async def _fill(self, batch: list) -> bool:
+        """Top up ``batch`` to ``max_batch``; True when drain should follow."""
+        deadline = None
+        while len(batch) < self.max_batch:
+            if deadline is None:
+                # Greedy phase: take whatever is already queued for free.
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if self.max_wait_ms == 0:
+                        return False
+                    deadline = asyncio.get_running_loop().time() + (
+                        self.max_wait_ms / 1000.0
+                    )
+                    continue
+            else:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    return False
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    return False
+            if item is _CLOSE:
+                return True
+            batch.append(item)
+        return False
+
+    def _process(self, batch: list) -> list:
+        """Resolve one batch (runs on the executor thread).
+
+        One vectorized signature pass over every table in the batch —
+        mixed arities allowed — then per-request resolution: ``classify``
+        reads its class id straight off the signature, ``match`` runs the
+        witness search via :meth:`ClassLibrary.match_many`.
+        """
+        tables = [p.table for p in batch]
+        signatures = self.classifier.signatures(tables)
+        match_indices = [i for i, p in enumerate(batch) if p.op == "match"]
+        matches = self.library.match_many(
+            [tables[i] for i in match_indices],
+            signatures=[signatures[i] for i in match_indices],
+        )
+        by_index = dict(zip(match_indices, matches))
+        results = []
+        for index, pending in enumerate(batch):
+            if pending.op == "match":
+                results.append((by_index[index], False))
+            else:  # classify
+                class_id = self.library.class_id_of(signatures[index])
+                results.append((class_id, class_id in self.library.classes))
+        return results
+
+    def _publish(self, batch: list, results: list) -> None:
+        """Fan results back out to futures; feed the match cache."""
+        for pending, result in zip(batch, results):
+            if pending.op == "match":
+                outcome, _ = result
+                self.cache.put(pending.table, outcome)
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def classify_offline(self, table: TruthTable) -> tuple[str, bool]:
+        """The classify answer without going through a batch (for tests)."""
+        class_id = self.library.class_id_of(compute_msv(table, self.library.parts))
+        return class_id, class_id in self.library.classes
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (excludes the batch in flight)."""
+        return self._queue.qsize()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coalescer(engine={self.engine!r}, max_batch={self.max_batch}, "
+            f"max_wait_ms={self.max_wait_ms}, pending={self.pending})"
+        )

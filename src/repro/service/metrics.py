@@ -1,0 +1,137 @@
+"""Service observability: request/batch/cache counters + latency quantiles.
+
+One :class:`ServiceMetrics` instance lives for the daemon's lifetime and
+is mutated only from the event-loop thread (counter updates need no
+locks).  ``stats`` requests and ``GET /v1/stats`` serialize a
+:meth:`snapshot`; the numbers the coalescing design is judged by — mean
+batch size and cache hit rate — come straight from here.
+
+Latency quantiles use a bounded reservoir of the most recent
+:data:`DEFAULT_RESERVOIR` per-request latencies (enqueue to reply).
+A sliding window, not a sketch: exact quantiles over recent traffic beat
+approximate quantiles over all of it for a long-running daemon, and the
+memory bound is what lets the service run indefinitely.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+__all__ = ["ServiceMetrics", "LatencyWindow", "DEFAULT_RESERVOIR"]
+
+#: Per-request latencies retained for quantile estimation.
+DEFAULT_RESERVOIR = 4096
+
+
+class LatencyWindow:
+    """Sliding window of recent latencies with exact quantile readout."""
+
+    def __init__(self, maxlen: int = DEFAULT_RESERVOIR) -> None:
+        if maxlen < 1:
+            raise ValueError(f"latency window needs maxlen >= 1, got {maxlen}")
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.observed = 0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.observed += 1
+
+    def quantile(self, q: float) -> float | None:
+        """Exact ``q``-quantile (nearest-rank) of the window, or ``None``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class ServiceMetrics:
+    """Counters and gauges of one daemon run.
+
+    Attributes:
+        requests: per-op counts of accepted requests.
+        errors: per-type counts of error replies.
+        batches: number of engine batches the coalescer dispatched.
+        batched_requests: requests that went through those batches
+            (cache hits and stats/ping ops never reach a batch).
+        latency: sliding window of request latencies (seconds).
+    """
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        self.started = time.monotonic()
+        self.requests: Counter[str] = Counter()
+        self.errors: Counter[str] = Counter()
+        self.replies_ok = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.latency = LatencyWindow(reservoir)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] += 1
+
+    def record_reply(self, latency_seconds: float) -> None:
+        self.replies_ok += 1
+        self.latency.observe(latency_seconds)
+
+    def record_error(self, error_type: str) -> None:
+        self.errors[error_type] += 1
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``stats`` replies and the HTTP front."""
+        p50 = self.latency.quantile(0.50)
+        p99 = self.latency.quantile(0.99)
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests_total": sum(self.requests.values()),
+            "requests_by_op": dict(sorted(self.requests.items())),
+            "replies_ok": self.replies_ok,
+            "errors_total": sum(self.errors.values()),
+            "errors_by_type": dict(sorted(self.errors.items())),
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "max_batch_size": self.max_batch_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "latency_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
+            "latency_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+            "latency_samples": len(self.latency),
+        }

@@ -1,0 +1,125 @@
+"""Run a daemon on a background thread: tests, benchmarks, notebooks.
+
+The daemon is asyncio-native; everything else in this repo (pytest, the
+benchmark harness, blocking example scripts) is synchronous.
+:class:`ThreadedService` bridges the two: it spins an event loop on a
+daemon thread, starts a :class:`ClassificationService` on it, and hands
+back the bound address — ``with ThreadedService(library) as svc:``
+wraps a complete serve/query/drain cycle around any blocking code.
+
+This is an embedding harness, not a production topology: real
+deployments run ``repro-npn serve`` as its own process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.library.store import ClassLibrary
+from repro.service.server import ClassificationService
+
+__all__ = ["ThreadedService"]
+
+_START_TIMEOUT = 30.0
+
+
+class ThreadedService:
+    """A :class:`ClassificationService` running on a private loop thread.
+
+    Keyword arguments pass through to :class:`ClassificationService`;
+    the default ``port=0`` binds a free port, read it from :attr:`port`
+    or :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(self, library: ClassLibrary, **service_kwargs) -> None:
+        service_kwargs.setdefault("port", 0)
+        self.service = ClassificationService(library, **service_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ThreadedService":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(_START_TIMEOUT):
+            raise RuntimeError("service failed to start within timeout")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Drain and stop; idempotent."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        done = threading.Event()
+
+        async def _shutdown() -> None:
+            try:
+                await self.service.stop()
+            finally:
+                done.set()
+                asyncio.get_running_loop().stop()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), loop)
+        done.wait(_START_TIMEOUT)
+        thread.join(_START_TIMEOUT)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ThreadedService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def address(self) -> str:
+        return self.service.address
+
+    # ------------------------------------------------------------------
+    # Thread body
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Cancel anything the shutdown left behind, then close.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()

@@ -1,0 +1,421 @@
+"""The asyncio classification daemon: load a library once, serve forever.
+
+:class:`ClassificationService` binds one TCP port and speaks both wire
+protocols of :mod:`repro.service.protocol` — the first request line is
+sniffed, so ``nc`` + NDJSON and ``curl /healthz`` hit the same address.
+Requests flow::
+
+    connection reader ──> parse ──> Coalescer.submit ──> packed batch
+                                                            │
+    connection writer <── reply <── future resolves <───────┘
+
+Each NDJSON line becomes its own reply task, so a pipelined client keeps
+many requests in flight on one connection — exactly the traffic shape
+the coalescer amortises.
+
+Shutdown is a drain, not a drop: SIGTERM/SIGINT stop the listener,
+already-accepted requests are batched and answered, then connections
+close and :meth:`serve_forever` returns.  A second signal is ignored
+(the drain is already as fast as the backlog allows).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.library.store import ClassLibrary
+from repro.service.coalescer import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_MAX_WAIT_MS,
+    Coalescer,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service import protocol
+from repro.service.protocol import (
+    HTTP_METHODS,
+    HTTP_STATUS_BY_ERROR,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+)
+
+__all__ = ["ClassificationService", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8355
+
+#: Most un-replied requests one connection may have in flight; beyond it
+#: the read loop pauses until a reply completes.  Together with the
+#: per-reply ``drain()`` this bounds the daemon's memory per connection
+#: even against a client that pipelines forever without reading.
+MAX_INFLIGHT_REPLIES = 1024
+
+
+class ClassificationService:
+    """One daemon: a listener, a coalescer, and a loaded class library.
+
+    Args:
+        library: the :class:`ClassLibrary` all queries resolve against
+            (loaded once — the whole point of the daemon).
+        host/port: bind address; ``port=0`` picks a free port (see
+            :attr:`port` after :meth:`start`).
+        engine / max_batch / max_wait_ms / max_pending / cache_size:
+            coalescer knobs, see :class:`Coalescer`.
+    """
+
+    def __init__(
+        self,
+        library: ClassLibrary,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        engine: str = "batched",
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        cache_size: int = 1 << 16,
+    ) -> None:
+        self.library = library
+        self.host = host
+        self._requested_port = port
+        self.metrics = ServiceMetrics()
+        self.coalescer = Coalescer(
+            library,
+            engine=engine,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+            cache_size=cache_size,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listener and launch the coalescer worker."""
+        self.coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: close listener, answer backlog, drop connections."""
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.coalescer.stop()
+        # Closing the transports feeds EOF to every connection reader, so
+        # handlers exit their read loops normally — cancellation is only
+        # the fallback for a handler that still hasn't finished.
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                list(self._connections), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def serve_forever(self, ready_message: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return.
+
+        ``ready_message`` prints one parseable line on stdout once the
+        socket is bound — the CLI, CI smoke job, and the drain test all
+        key off it.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        if ready_message:
+            print(
+                f"serving {self.library.num_classes} classes "
+                f"on {self.address}",
+                flush=True,
+            )
+        try:
+            await self._stopping.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+            await self.stop()
+            if ready_message:
+                print("drained, bye", flush=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        try:
+            try:
+                first = await self._read_line(reader)
+            except ProtocolError as exc:
+                await self._reject_line(writer, None, exc)
+                return
+            if first is None:
+                return
+            if any(first.startswith(verb) for verb in HTTP_METHODS):
+                await self._serve_http(first, reader, writer)
+            else:
+                await self._serve_ndjson(first, reader, writer)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass  # client went away / drain cancelled the connection
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError only lands here when a drain cancelled a
+                # straggler mid-close; the coroutine ends either way.
+                pass
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One line, or ``None`` on EOF; typed error when over the limit."""
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise ProtocolError(
+                "payload_too_large",
+                f"request line exceeds {MAX_LINE_BYTES} bytes",
+            ) from None
+        return line if line else None
+
+    # -------------------------- NDJSON path ---------------------------
+
+    async def _serve_ndjson(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        replies: set[asyncio.Task] = set()
+        line: bytes | None = first
+        try:
+            while line is not None:
+                if line.strip():
+                    task = asyncio.ensure_future(self._answer_line(writer, line))
+                    replies.add(task)
+                    task.add_done_callback(replies.discard)
+                    if len(replies) >= MAX_INFLIGHT_REPLIES:
+                        # Stop reading until the client consumes replies:
+                        # reply tasks block on drain(), so a client that
+                        # writes but never reads parks here instead of
+                        # growing the daemon's buffers.
+                        await asyncio.wait(
+                            replies, return_when=asyncio.FIRST_COMPLETED
+                        )
+                try:
+                    line = await self._read_line(reader)
+                except ProtocolError as exc:
+                    # Framing is lost beyond an oversized line: reply,
+                    # then hang up instead of guessing where it ends.
+                    await self._reject_line(writer, None, exc)
+                    return
+        finally:
+            if replies:
+                await asyncio.gather(*replies, return_exceptions=True)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _answer_line(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            request_id = _best_effort_id(line)
+            await self._reject_line(writer, request_id, exc)
+            return
+        self.metrics.record_request(request.op)
+        try:
+            result = await self._resolve(request)
+        except ProtocolError as exc:
+            await self._reject_line(writer, request.id, exc)
+            return
+        self.metrics.record_reply(loop.time() - t0)
+        await self._write(writer, protocol.encode_line(
+            protocol.ok_reply(request.id, request.op, result)
+        ))
+
+    async def _reject_line(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: object,
+        exc: ProtocolError,
+    ) -> None:
+        self.metrics.record_error(exc.error_type)
+        await self._write(writer, protocol.encode_line(
+            protocol.error_reply(request_id, exc.error_type, exc.message)
+        ))
+
+    async def _write(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
+        """One whole-line write + drain (flow control against slow readers)."""
+        if writer.transport is None or writer.transport.is_closing():
+            return
+        writer.write(payload)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away; the read loop will see EOF
+
+    # --------------------------- HTTP path -----------------------------
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            method, path, body = await self._read_http(request_line, reader)
+            status, payload = await self._route_http(method, path, body, t0)
+        except ProtocolError as exc:
+            self.metrics.record_error(exc.error_type)
+            status = HTTP_STATUS_BY_ERROR[exc.error_type]
+            payload = {"error": {"type": exc.error_type, "message": exc.message}}
+        await self._write(writer, protocol.http_response(status, payload))
+
+    async def _read_http(
+        self, request_line: bytes, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            method, path, _version = request_line.decode().split(None, 2)
+        except (UnicodeDecodeError, ValueError):
+            raise ProtocolError("bad_request", "malformed HTTP request line")
+        content_length = 0
+        while True:
+            header = await self._read_line(reader)
+            if header is None or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ProtocolError("bad_request", "bad Content-Length")
+        if content_length > MAX_LINE_BYTES:
+            raise ProtocolError(
+                "payload_too_large",
+                f"body exceeds {MAX_LINE_BYTES} bytes",
+            )
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method.upper(), path, body
+
+    async def _route_http(
+        self, method: str, path: str, body: bytes, t0: float
+    ) -> tuple[int, dict]:
+        loop = asyncio.get_running_loop()
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "classes": self.library.num_classes,
+                "arities": list(self.library.arities()),
+                "address": self.address,
+                "draining": self.coalescer.closing,
+            }
+        if method == "GET" and path == "/v1/stats":
+            self.metrics.record_request("stats")
+            snapshot = self.metrics.snapshot()
+            self.metrics.record_reply(loop.time() - t0)
+            return 200, snapshot
+        if method == "POST" and path in ("/v1/classify", "/v1/match"):
+            op = path.rsplit("/", 1)[1]
+            try:
+                data = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, ValueError):
+                raise ProtocolError("bad_request", "body is not valid JSON")
+            if not isinstance(data, dict):
+                raise ProtocolError("bad_request", "body must be a JSON object")
+            table = protocol.parse_table_payload(data)
+            self.metrics.record_request(op)
+            result = await self._resolve(
+                Request(op=op, id=data.get("id"), table=table)
+            )
+            self.metrics.record_reply(loop.time() - t0)
+            return 200, {"ok": True, "op": op, "result": result}
+        raise ProtocolError("bad_request", f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Request resolution (shared by both fronts)
+    # ------------------------------------------------------------------
+
+    async def _resolve(self, request: Request) -> dict:
+        if request.op == "ping":
+            return {"pong": True, "classes": self.library.num_classes}
+        if request.op == "stats":
+            return self.metrics.snapshot()
+        future = self.coalescer.submit(request.op, request.table)
+        if request.op == "match":
+            outcome, cached = await future
+            return protocol.match_payload(request.table, outcome, cached)
+        class_id, known = await future
+        return protocol.classify_payload(request.table, class_id, known)
+
+
+def _best_effort_id(line: bytes) -> object:
+    """Recover an ``id`` from a rejected request so the client can map it."""
+    try:
+        data = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(data, dict):
+        value = data.get("id")
+        if isinstance(value, (str, int, float)) or value is None:
+            return value
+    return None

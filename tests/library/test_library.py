@@ -141,6 +141,69 @@ class TestMatch:
         assert not hit.verify(~maj)
 
 
+class TestMatchMany:
+    def test_agrees_with_per_query_match(self, lib3):
+        rng = random.Random(13)
+        queries = [
+            TruthTable.random(3, rng).apply(random_transform(3, rng))
+            for _ in range(40)
+        ]
+        bulk = lib3.match_many(queries)
+        assert len(bulk) == len(queries)
+        for query, hit in zip(queries, bulk):
+            single = lib3.match(query)
+            assert hit is not None and single is not None
+            assert hit.class_id == single.class_id
+            assert hit.verify(query)
+
+    def test_mixed_arities_and_misses_keep_order(self, lib3):
+        queries = [
+            TruthTable.majority(3),      # hit
+            TruthTable.majority(5),      # miss: arity not covered
+            TruthTable(3, 0x1E),         # hit
+            TruthTable(2, 0b0110),       # miss: arity not covered
+        ]
+        bulk = lib3.match_many(queries)
+        assert [hit is not None for hit in bulk] == [True, False, True, False]
+        assert bulk[0].verify(queries[0])
+        assert bulk[2].verify(queries[2])
+
+    def test_empty_input(self, lib3):
+        assert lib3.match_many([]) == []
+
+    def test_accepts_precomputed_signatures(self, lib3):
+        from repro.core.msv import compute_msv
+
+        queries = [TruthTable.majority(3), TruthTable(3, 0xE8)]
+        signatures = [compute_msv(tt, lib3.parts) for tt in queries]
+        bulk = lib3.match_many(queries, signatures=signatures)
+        assert all(hit is not None and hit.verify(q) for hit, q in zip(bulk, queries))
+
+    def test_rejects_mismatched_signature_count(self, lib3):
+        from repro.core.msv import compute_msv
+
+        queries = [TruthTable.majority(3), TruthTable(3, 0xE8)]
+        with pytest.raises(ValueError):
+            lib3.match_many(queries, signatures=[compute_msv(queries[0])])
+
+    def test_rejects_foreign_part_signatures(self, lib3):
+        from repro.core.msv import compute_msv
+
+        maj = TruthTable.majority(3)
+        with pytest.raises(ValueError):
+            lib3.match_many([maj], signatures=[compute_msv(maj, ("c0", "oiv"))])
+
+    def test_match_delegates_to_match_many(self, lib3):
+        # The single-query path is the bulk path: same hit, same witness.
+        maj = TruthTable.majority(3)
+        assert lib3.match(maj).class_id == lib3.match_many([maj])[0].class_id
+
+    def test_bulk_signature_engine_is_reused(self, lib3):
+        engine_a = lib3._signature_engine()
+        lib3.match_many([TruthTable.majority(3)])
+        assert lib3._signature_engine() is engine_a
+
+
 class TestMerge:
     def test_merge_of_halves_equals_full_build(self):
         tables = list(exhaustive_tables(3))

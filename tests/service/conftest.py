@@ -1,0 +1,19 @@
+"""Shared fixtures of the service-layer tests.
+
+One exhaustive n<=3 library serves the whole module scope — building it
+classifies 256 + 16 + 4 functions, cheap enough per session and small
+enough that every query can be re-answered offline for parity checks.
+"""
+
+import pytest
+
+from repro.library import build_exhaustive_library
+
+
+@pytest.fixture(scope="session")
+def tiny_library():
+    library = build_exhaustive_library(2).merged_with(
+        build_exhaustive_library(3)
+    )
+    assert library.num_classes == 4 + 14
+    return library

@@ -1,0 +1,119 @@
+"""MatchCache accounting and ServiceMetrics readout."""
+
+import pytest
+
+from repro.core.truth_table import TruthTable
+from repro.service.cache import MatchCache
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+
+
+class TestMatchCache:
+    def test_miss_then_hit(self, tiny_library):
+        cache = MatchCache(maxsize=8)
+        query = TruthTable(3, 0xE8)
+        found, _ = cache.get(query)
+        assert not found
+        outcome = tiny_library.match(query)
+        cache.put(query, outcome)
+        found, cached = cache.get(query)
+        assert found and cached is outcome
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_negative_outcome_is_cached(self):
+        cache = MatchCache(maxsize=8)
+        query = TruthTable(3, 0xE8)
+        cache.put(query, None)
+        found, outcome = cache.get(query)
+        assert found and outcome is None
+
+    def test_key_distinguishes_arity(self):
+        cache = MatchCache(maxsize=8)
+        cache.put(TruthTable(2, 0b0110), None)
+        found, _ = cache.get(TruthTable.from_binary("0110").extend(3))
+        assert not found
+
+    def test_lru_eviction(self):
+        cache = MatchCache(maxsize=2)
+        a, b, c = (TruthTable(3, bits) for bits in (1, 2, 3))
+        cache.put(a, None)
+        cache.put(b, None)
+        cache.get(a)  # refresh a; b is now LRU
+        cache.put(c, None)
+        assert cache.stats.evictions == 1
+        assert cache.get(b) == (False, None)
+        assert cache.get(a)[0] and cache.get(c)[0]
+
+    def test_zero_size_disables(self):
+        cache = MatchCache(maxsize=0)
+        query = TruthTable(3, 0xE8)
+        cache.put(query, None)
+        assert cache.get(query) == (False, None)
+        assert len(cache) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MatchCache(maxsize=-1)
+
+
+class TestLatencyWindow:
+    def test_quantiles_exact_on_small_window(self):
+        window = LatencyWindow(maxlen=100)
+        for value in [0.5, 0.1, 0.3, 0.2, 0.4]:
+            window.observe(value)
+        assert window.quantile(0.0) == 0.1
+        assert window.quantile(0.5) == 0.3
+        assert window.quantile(1.0) == 0.5
+
+    def test_empty_window_returns_none(self):
+        assert LatencyWindow().quantile(0.5) is None
+
+    def test_window_slides(self):
+        window = LatencyWindow(maxlen=2)
+        for value in (1.0, 2.0, 3.0):
+            window.observe(value)
+        assert window.quantile(0.0) == 2.0
+        assert window.observed == 3
+        assert len(window) == 2
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(maxlen=0)
+        with pytest.raises(ValueError):
+            LatencyWindow().quantile(1.5)
+
+
+class TestServiceMetrics:
+    def test_snapshot_fields(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("match")
+        metrics.record_request("match")
+        metrics.record_request("stats")
+        metrics.record_batch(2)
+        metrics.record_batch(4)
+        metrics.record_cache(True)
+        metrics.record_cache(False)
+        metrics.record_reply(0.010)
+        metrics.record_reply(0.030)
+        metrics.record_error("overloaded")
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 3
+        assert snap["requests_by_op"] == {"match": 2, "stats": 1}
+        assert snap["batches"] == 2
+        assert snap["mean_batch_size"] == 3.0
+        assert snap["max_batch_size"] == 4
+        assert snap["cache_hit_rate"] == 0.5
+        assert snap["errors_by_type"] == {"overloaded": 1}
+        assert snap["latency_p50_ms"] == pytest.approx(10.0, rel=0.5)
+        assert snap["latency_p99_ms"] == pytest.approx(30.0, rel=0.5)
+        assert snap["uptime_s"] >= 0
+
+    def test_empty_snapshot_is_serializable(self):
+        import json
+
+        snap = ServiceMetrics().snapshot()
+        assert snap["mean_batch_size"] == 0.0
+        assert snap["cache_hit_rate"] == 0.0
+        assert snap["latency_p50_ms"] is None
+        json.dumps(snap)

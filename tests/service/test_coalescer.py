@@ -1,0 +1,301 @@
+"""Coalescer behaviour: batch/timeout boundaries, backpressure, drain.
+
+Tests drive the coalescer directly on a private event loop via
+``asyncio.run`` — no sockets, so batch-size assertions are deterministic
+where the design makes them so (single-waiter boundaries, stalled-worker
+backpressure, drain ordering).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.truth_table import TruthTable
+from repro.service.coalescer import Coalescer
+from repro.service.protocol import ProtocolError
+
+
+def tables(count, n=3, start=1):
+    limit = 1 << (1 << n)
+    return [TruthTable(n, (start + i) % limit) for i in range(count)]
+
+
+class TestConstruction:
+    def test_rejects_sharded_engine(self, tiny_library):
+        with pytest.raises(ValueError) as excinfo:
+            Coalescer(tiny_library, engine="sharded")
+        assert "perfn" in str(excinfo.value)
+        assert "batched" in str(excinfo.value)
+
+    def test_rejects_bad_knobs(self, tiny_library):
+        with pytest.raises(ValueError):
+            Coalescer(tiny_library, max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(tiny_library, max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            Coalescer(tiny_library, max_pending=0)
+
+
+class TestBatching:
+    def test_burst_coalesces_into_one_batch(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(
+                tiny_library, max_batch=64, max_wait_ms=50.0
+            )
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in tables(16)]
+            results = await asyncio.gather(*futures)
+            await coalescer.stop()
+            return coalescer, results
+
+        coalescer, results = asyncio.run(scenario())
+        # All 16 were queued before the worker could run: one batch.
+        assert coalescer.metrics.batches == 1
+        assert coalescer.metrics.max_batch_size == 16
+        assert len(results) == 16
+
+    def test_max_batch_splits_bursts(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=4, max_wait_ms=50.0)
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in tables(10)]
+            await asyncio.gather(*futures)
+            await coalescer.stop()
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.metrics.batches == 3  # 4 + 4 + 2
+        assert coalescer.metrics.max_batch_size == 4
+
+    def test_max_batch_one_disables_coalescing(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=1, max_wait_ms=50.0)
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in tables(5)]
+            await asyncio.gather(*futures)
+            await coalescer.stop()
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.metrics.batches == 5
+        assert coalescer.metrics.mean_batch_size == 1.0
+
+    def test_lone_request_released_by_timeout(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=1024, max_wait_ms=5.0)
+            coalescer.start()
+            # One request, nothing else coming: the max_wait deadline —
+            # not a full batch — must release it.
+            result = await asyncio.wait_for(
+                coalescer.submit("match", TruthTable(3, 0xE8)), timeout=5.0
+            )
+            await coalescer.stop()
+            return coalescer, result
+
+        coalescer, (outcome, cached) = asyncio.run(scenario())
+        assert coalescer.metrics.batches == 1
+        assert not cached
+        assert outcome is not None
+
+    def test_zero_wait_still_drains_backlog_greedily(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=64, max_wait_ms=0)
+            futures = [coalescer.submit("match", tt) for tt in tables(8)]
+            coalescer.start()  # everything queued before the worker wakes
+            await asyncio.gather(*futures)
+            await coalescer.stop()
+            return coalescer
+
+        coalescer = asyncio.run(scenario())
+        assert coalescer.metrics.batches == 1
+        assert coalescer.metrics.max_batch_size == 8
+
+
+class TestResults:
+    def test_match_results_agree_with_offline_library(self, tiny_library):
+        queries = tables(20)
+
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=8, max_wait_ms=5.0)
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in queries]
+            results = await asyncio.gather(*futures)
+            await coalescer.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        for query, (outcome, cached) in zip(queries, results):
+            offline = tiny_library.match(query)
+            assert not cached
+            assert (outcome is None) == (offline is None)
+            if outcome is not None:
+                assert outcome.class_id == offline.class_id
+                assert outcome.verify(query)
+
+    def test_classify_results_and_mixed_ops(self, tiny_library):
+        queries = tables(6)
+
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=16, max_wait_ms=5.0)
+            coalescer.start()
+            classify = [coalescer.submit("classify", tt) for tt in queries]
+            match = [coalescer.submit("match", tt) for tt in queries]
+            classified = await asyncio.gather(*classify)
+            matched = await asyncio.gather(*match)
+            await coalescer.stop()
+            return classified, matched
+
+        classified, matched = asyncio.run(scenario())
+        for query, (class_id, known) in zip(queries, classified):
+            offline = tiny_library.lookup(query)
+            assert known == (offline is not None)
+            if offline is not None:
+                assert class_id == offline.class_id
+        for (outcome, _), (class_id, known) in zip(matched, classified):
+            if known:
+                assert outcome is not None and outcome.class_id == class_id
+
+    def test_perfn_engine_serves_correct_answers(self, tiny_library):
+        # Both service engines must be usable end-to-end, not just pass
+        # construction — a perfn daemon answers like a batched one.
+        queries = tables(6)
+
+        async def scenario():
+            coalescer = Coalescer(
+                tiny_library, engine="perfn", max_batch=8, max_wait_ms=5.0
+            )
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in queries]
+            results = await asyncio.gather(*futures)
+            await coalescer.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        for query, (outcome, _) in zip(queries, results):
+            offline = tiny_library.match(query)
+            assert outcome is not None and offline is not None
+            assert outcome.class_id == offline.class_id
+            assert outcome.verify(query)
+
+    def test_mixed_arities_share_a_batch(self, tiny_library):
+        queries = tables(4, n=2) + tables(4, n=3)
+
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=16, max_wait_ms=20.0)
+            coalescer.start()
+            futures = [coalescer.submit("match", tt) for tt in queries]
+            results = await asyncio.gather(*futures)
+            await coalescer.stop()
+            return coalescer, results
+
+        coalescer, results = asyncio.run(scenario())
+        assert coalescer.metrics.batches == 1
+        for query, (outcome, _) in zip(queries, results):
+            assert outcome is not None
+            assert outcome.entry.n == query.n
+            assert outcome.verify(query)
+
+
+class TestCacheIntegration:
+    def test_second_burst_hits_cache_without_batches(self, tiny_library):
+        queries = tables(10)
+
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=64, max_wait_ms=5.0)
+            coalescer.start()
+            first = await asyncio.gather(
+                *[coalescer.submit("match", tt) for tt in queries]
+            )
+            batches_after_first = coalescer.metrics.batches
+            second = await asyncio.gather(
+                *[coalescer.submit("match", tt) for tt in queries]
+            )
+            await coalescer.stop()
+            return coalescer, batches_after_first, first, second
+
+        coalescer, batches_after_first, first, second = asyncio.run(scenario())
+        assert coalescer.metrics.batches == batches_after_first  # no new work
+        assert all(not cached for _, cached in first)
+        assert all(cached for _, cached in second)
+        assert [o.class_id for o, _ in first] == [o.class_id for o, _ in second]
+        assert coalescer.metrics.cache_hits == 10
+        assert coalescer.metrics.cache_misses == 10
+        assert coalescer.cache.stats.hits == 10
+
+    def test_cache_disabled_by_zero_size(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(
+                tiny_library, max_batch=64, max_wait_ms=5.0, cache_size=0
+            )
+            coalescer.start()
+            query = TruthTable(3, 0xE8)
+            await coalescer.submit("match", query)
+            _, cached = await coalescer.submit("match", query)
+            await coalescer.stop()
+            return coalescer, cached
+
+        coalescer, cached = asyncio.run(scenario())
+        assert not cached
+        assert coalescer.metrics.batches == 2
+
+
+class TestBackpressure:
+    def test_overloaded_when_queue_full(self, tiny_library):
+        async def scenario():
+            # Worker never started: the queue can only fill up.
+            coalescer = Coalescer(
+                tiny_library, max_pending=3, max_wait_ms=0
+            )
+            for tt in tables(3):
+                coalescer.submit("match", tt)
+            with pytest.raises(ProtocolError) as excinfo:
+                coalescer.submit("match", TruthTable(3, 0x99))
+            return excinfo.value
+
+        error = asyncio.run(scenario())
+        assert error.error_type == "overloaded"
+        assert "full" in error.message
+
+    def test_overloaded_queue_recovers_after_drain(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_pending=3, max_wait_ms=0)
+            pending = [coalescer.submit("match", tt) for tt in tables(3)]
+            with pytest.raises(ProtocolError):
+                coalescer.submit("match", TruthTable(3, 0x99))
+            coalescer.start()  # worker drains the backlog
+            await asyncio.gather(*pending)
+            extra = await coalescer.submit("match", TruthTable(3, 0x99))
+            await coalescer.stop()
+            return extra
+
+        outcome, _ = asyncio.run(scenario())
+        assert outcome is not None
+
+
+class TestDrain:
+    def test_stop_answers_backlog_then_rejects(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library, max_batch=4, max_wait_ms=0)
+            futures = [coalescer.submit("match", tt) for tt in tables(9)]
+            coalescer.start()
+            stop_task = asyncio.ensure_future(coalescer.stop())
+            await asyncio.sleep(0)  # let stop() mark the coalescer closed
+            with pytest.raises(ProtocolError) as excinfo:
+                coalescer.submit("match", TruthTable(3, 0x99))
+            results = await asyncio.gather(*futures)
+            await stop_task
+            return excinfo.value, results
+
+        error, results = asyncio.run(scenario())
+        assert error.error_type == "shutting_down"
+        assert len(results) == 9
+        assert all(outcome is not None for outcome, _ in results)
+
+    def test_stop_is_idempotent(self, tiny_library):
+        async def scenario():
+            coalescer = Coalescer(tiny_library)
+            coalescer.start()
+            await coalescer.stop()
+            await coalescer.stop()
+
+        asyncio.run(scenario())

@@ -275,6 +275,93 @@ class TestLibraryCommands:
         assert "cannot load library" in capsys.readouterr().err
 
 
+class TestServeAndQueryCommands:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        """A daemon on an exhaustive n<=3 library, shared by the class."""
+        from repro.library import build_exhaustive_library
+        from repro.service import ThreadedService
+
+        library = build_exhaustive_library(3)
+        with ThreadedService(library, max_wait_ms=1.0) as svc:
+            yield svc
+
+    def test_query_match_roundtrip(self, served, capsys):
+        assert main(
+            ["query", "match", "11101000", "--addr", served.address]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "class:     n3-" in out
+        assert "witness json:" in out
+        assert "verified:  True" in out
+
+    def test_query_match_miss(self, served, capsys):
+        assert main(
+            ["query", "match", "0110", "--addr", served.address]
+        ) == 1
+        assert "NO MATCH" in capsys.readouterr().out
+
+    def test_query_classify(self, served, capsys):
+        assert main(
+            ["query", "classify", "0xe8", "--n", "3", "--addr", served.address]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "class:     n3-" in out
+        assert "known:     True" in out
+
+    def test_query_stats_and_ping(self, served, capsys):
+        assert main(["query", "ping", "--addr", served.address]) == 0
+        assert '"pong": true' in capsys.readouterr().out
+        assert main(["query", "stats", "--addr", served.address]) == 0
+        assert '"mean_batch_size"' in capsys.readouterr().out
+
+    def test_query_rejects_bad_address(self, capsys):
+        assert main(["query", "ping", "--addr", "nope"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_query_reports_unreachable_daemon(self, capsys):
+        # Port 1 on localhost: nothing listens there in the test sandbox.
+        assert main(["query", "ping", "--addr", "127.0.0.1:1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+        assert "repro-npn serve" in err
+
+    def test_query_bad_table_is_typed_error(self, served, capsys):
+        assert main(
+            ["query", "classify", "0xe8a", "--addr", served.address]
+        ) == 2
+        assert "cannot infer variable count" in capsys.readouterr().err
+
+    def test_serve_requires_loadable_library(self, tmp_path, capsys):
+        assert main(["serve", "--library", str(tmp_path / "absent")]) == 2
+        assert "cannot load library" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_knobs(self, tmp_path, capsys):
+        from repro.library import build_exhaustive_library
+
+        lib_dir = tmp_path / "lib2"
+        build_exhaustive_library(2).save(lib_dir)
+        for flags, fragment in (
+            (["--max-batch", "0"], "max_batch"),
+            (["--max-wait-ms", "-1"], "max_wait_ms"),
+            (["--max-pending", "0"], "max_pending"),
+            (["--cache-size", "-1"], "cache_size"),
+        ):
+            assert main(["serve", "--library", str(lib_dir), *flags]) == 2
+            assert fragment in capsys.readouterr().err
+
+    def test_serve_validates_knobs_before_touching_the_library(
+        self, tmp_path, capsys
+    ):
+        # The library path does not even exist: knob errors must win.
+        assert main(
+            ["serve", "--library", str(tmp_path / "absent"), "--max-batch", "0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "max_batch" in err
+        assert "cannot load library" not in err
+
+
 @pytest.mark.integration
 class TestExperimentCommands:
     """End-to-end table/figure regeneration at smoke scale."""
