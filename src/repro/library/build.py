@@ -4,10 +4,15 @@ Representative election — the rule that fixes each class's canonical
 table — depends on the arity:
 
 * ``n <= EXACT_REP_MAX_VARS`` (4): the representative is the *exhaustive
-  orbit minimum* (:func:`repro.baselines.exact_enum.exact_npn_canonical`
-  on any bucket member).  At n=4 the orbit has at most 768 images, so
-  this costs microseconds per class and makes the representative a pure
-  function of the class — independent of which members were observed.
+  orbit minimum* — computed through the batched
+  :func:`repro.kernels.canonical_min` gather kernel (byte-identical to
+  :func:`repro.baselines.exact_enum.exact_npn_canonical`, which remains
+  the oracle the tests compare against).  At n=4 the orbit has at most
+  768 images, so this costs microseconds per class and makes the
+  representative a pure function of the class — independent of which
+  members were observed; :func:`library_from_result` additionally
+  batches the minima of *all* buckets of an arity into single kernel
+  calls.
 * ``n >= 5``: enumerating ``2^(n+1) n!`` images per class is the exact
   cost the paper's signature approach avoids, so the representative is
   *elected*: the lexicographically smallest observed member of the
@@ -24,10 +29,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.baselines.exact_enum import exact_npn_canonical
 from repro.core.classifier import ClassificationResult
 from repro.core.msv import DEFAULT_PARTS
 from repro.core.truth_table import TruthTable
+from repro.kernels import canonical_min, canonical_min_table
 from repro.library.store import ClassLibrary
 from repro.workloads.library_corpus import exhaustive_tables
 
@@ -53,7 +58,7 @@ def elect_representative(members: list[TruthTable]) -> tuple[TruthTable, bool]:
         raise ValueError("cannot elect a representative from an empty bucket")
     n = members[0].n
     if n <= EXACT_REP_MAX_VARS:
-        return exact_npn_canonical(members[0]).representative, True
+        return canonical_min_table(members[0]), True
     return min(members), False
 
 
@@ -62,11 +67,29 @@ def library_from_result(result: ClassificationResult) -> ClassLibrary:
 
     Every signature bucket becomes one class; bucket membership only
     influences elected (n >= 5) representatives, never exact ones.
+    Exact (n <= 4) representatives are computed as *batched* canonical
+    minima — one :func:`repro.kernels.canonical_min` call per arity over
+    the first member of every bucket.
     """
     library = ClassLibrary(result.parts)
-    for members in result.groups.values():
-        representative, exact = elect_representative(members)
-        library.add_class(representative, size=len(members), exact=exact)
+    buckets = list(result.groups.values())
+    exact_by_n: dict[int, list[int]] = {}
+    for index, members in enumerate(buckets):
+        if members and members[0].n <= EXACT_REP_MAX_VARS:
+            exact_by_n.setdefault(members[0].n, []).append(index)
+    exact_reps: dict[int, TruthTable] = {}
+    for n, bucket_indices in exact_by_n.items():
+        minima = canonical_min([buckets[i][0] for i in bucket_indices])
+        for i, bits in zip(bucket_indices, minima):
+            exact_reps[i] = TruthTable(n, int(bits))
+    for index, members in enumerate(buckets):
+        if index in exact_reps:
+            library.add_class(
+                exact_reps[index], size=len(members), exact=True
+            )
+        else:
+            representative, exact = elect_representative(members)
+            library.add_class(representative, size=len(members), exact=exact)
     return library
 
 

@@ -38,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baselines.matcher import find_npn_transform
+from repro.baselines.matcher import find_npn_transforms_grouped
 from repro.core import bitops
 from repro.core import characteristics as chars
 from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv, normalize_parts
@@ -164,6 +164,9 @@ class ClassLibrary:
     def __init__(self, parts=DEFAULT_PARTS) -> None:
         self.parts = normalize_parts(parts)
         self.classes: dict[str, NPNClassEntry] = {}
+        #: Directory the transform gather tables persist under (set by
+        #: :meth:`save`/:meth:`load`); ``None`` keeps them memory-only.
+        self.kernel_cache_dir: Path | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -284,11 +287,15 @@ class ClassLibrary:
         """Resolve many queries in one signature pass, preserving order.
 
         All query signatures are computed in a single vectorized batch
-        through the packed engine (arities may be mixed), then each query
-        runs the per-pair witness search against its class entry.  The
-        online service's coalescer calls this with ``signatures`` it
-        already computed on its shared engine; leave it ``None`` to let
-        the library compute them on a lazily created batched classifier
+        through the packed engine (arities may be mixed); the witness
+        searches then run through the gather kernels with candidate
+        checks batched **across queries sharing a class** — one variable
+        -key pass per arity, one gather per class group — instead of a
+        scalar search per query.  Representative keys are cached on the
+        library, so repeated calls never recompute them.  The online
+        service's coalescer calls this with ``signatures`` it already
+        computed on its shared engine; leave it ``None`` to let the
+        library compute them on a lazily created batched classifier
         whose signature cache persists across calls.
         """
         tts = list(tts)
@@ -300,14 +307,27 @@ class ClassLibrary:
                 raise ValueError(
                     f"{len(signatures)} signatures for {len(tts)} queries"
                 )
-        out: list[LibraryMatch | None] = []
-        for tt, signature in zip(tts, signatures):
+        out: list[LibraryMatch | None] = [None] * len(tts)
+        groups: dict[str, list[int]] = {}
+        for index, signature in enumerate(signatures):
             entry = self.classes.get(self.class_id_of(signature))
-            if entry is None:
-                out.append(None)
-                continue
-            witness = find_npn_transform(entry.representative, tt)
-            out.append(None if witness is None else LibraryMatch(entry, witness))
+            if entry is not None:
+                groups.setdefault(entry.class_id, []).append(index)
+        group_entries = [self.classes[class_id] for class_id in groups]
+        witness_rows = find_npn_transforms_grouped(
+            [
+                (entry.representative, [tts[i] for i in indices])
+                for entry, indices in zip(group_entries, groups.values())
+            ],
+            cache_dir=self.kernel_cache_dir,
+        )
+        for entry, indices, witnesses in zip(
+            group_entries, groups.values(), witness_rows
+        ):
+            for i, witness in zip(indices, witnesses):
+                out[i] = (
+                    None if witness is None else LibraryMatch(entry, witness)
+                )
         return out
 
     def _signature_engine(self):
@@ -376,6 +396,9 @@ class ClassLibrary:
                 "reps": reps,
             },
         )
+        # Transform gather tables persist lazily next to the artifact:
+        # nothing is written until a match actually builds one.
+        self.kernel_cache_dir = directory / "kernels"
         return directory
 
     @classmethod
@@ -434,6 +457,7 @@ class ClassLibrary:
                     f"{directory}: duplicate class id {entry.class_id!r}"
                 )
             library.classes[entry.class_id] = entry
+        library.kernel_cache_dir = directory / "kernels"
         return library
 
 

@@ -16,6 +16,7 @@ from repro.workloads.library_corpus import (
 )
 from repro.workloads.random_functions import (
     consecutive_tables,
+    hit_miss_queries,
     iter_random_tables,
     random_tables,
     seeded_equivalent_tables,
@@ -30,6 +31,7 @@ __all__ = [
     "iter_random_tables",
     "consecutive_tables",
     "seeded_equivalent_tables",
+    "hit_miss_queries",
     "packed_random_tables",
     "packed_consecutive_tables",
     "packed_equivalent_tables",

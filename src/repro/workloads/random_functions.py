@@ -28,6 +28,7 @@ __all__ = [
     "iter_random_tables",
     "consecutive_tables",
     "seeded_equivalent_tables",
+    "hit_miss_queries",
 ]
 
 
@@ -62,6 +63,25 @@ def consecutive_tables(
             raise ValueError("provide either a start value or a seed")
         start = random.Random(seed).randrange(size)
     return [TruthTable(n, (start + k) % size) for k in range(count)]
+
+
+def hit_miss_queries(
+    n: int, hits: int, misses: int, seed: int
+) -> tuple[list[TruthTable], list[TruthTable]]:
+    """``(library corpus, shuffled query mix)`` for matcher benchmarks.
+
+    Every *hit* query is a fresh random NPN image of a corpus function —
+    so resolving it requires an actual witness search, not the identity
+    short-circuit — and every *miss* is an independent random function
+    (at ``n >= 5`` random draws essentially never collide with the
+    corpus signatures).  The mix is deterministically shuffled.
+    """
+    rng = random.Random(seed)
+    corpus = random_tables(n, hits, seed)
+    queries = [tt.apply(random_transform(n, rng)) for tt in corpus]
+    queries += random_tables(n, misses, seed + 1)
+    rng.shuffle(queries)
+    return corpus, queries
 
 
 def seeded_equivalent_tables(

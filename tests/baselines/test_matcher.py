@@ -6,13 +6,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines import matcher
 from repro.baselines.exact_enum import exact_npn_canonical
 from repro.baselines.matcher import (
     are_npn_equivalent,
     find_npn_transform,
+    find_npn_transform_scalar,
+    find_npn_transforms_from,
+    find_npn_transforms_grouped,
     variable_keys,
 )
-from repro.core.transforms import random_transform
+from repro.core.transforms import NPNTransform, random_transform
 from repro.core.truth_table import TruthTable
 
 
@@ -141,6 +145,154 @@ class TestVariableKeys:
         """Documented limitation: cofactor pairs complement under ~f."""
         and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
         assert sorted(variable_keys(and3)) != sorted(variable_keys(~and3))
+
+
+class TestScalarParity:
+    """The gather path and the seed backtracker are interchangeable."""
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_identical_witnesses_on_equivalent_pairs(self, n):
+        """Same verdict AND byte-identical witness: the vectorized
+        search enumerates candidates in the backtracker's order."""
+        rng = random.Random(n * 71)
+        for _ in range(25):
+            tt = TruthTable.random(n, rng)
+            image = tt.apply(random_transform(n, rng))
+            assert find_npn_transform(tt, image) == find_npn_transform_scalar(
+                tt, image
+            )
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_same_verdict_on_random_pairs(self, n):
+        rng = random.Random(n * 73)
+        for _ in range(25):
+            a, b = TruthTable.random(n, rng), TruthTable.random(n, rng)
+            assert (find_npn_transform(a, b) is None) == (
+                find_npn_transform_scalar(a, b) is None
+            )
+
+    def test_symmetric_overflow_path(self):
+        """Fully symmetric functions exercise the chunked early-exit."""
+        xor6 = TruthTable.from_function(6, lambda *xs: sum(xs) % 2)
+        image = xor6.apply(random_transform(6, random.Random(11)))
+        witness = find_npn_transform(xor6, image)
+        assert witness == find_npn_transform_scalar(xor6, image)
+        assert xor6.apply(witness) == image
+
+    def test_large_arity_falls_back_to_scalar(self):
+        rng = random.Random(77)
+        tt = TruthTable.random(7, rng)
+        image = tt.apply(random_transform(7, rng))
+        witness = find_npn_transform(tt, image)
+        assert witness is not None
+        assert tt.apply(witness) == image
+
+
+class TestBulkAPIs:
+    def test_bulk_matches_singles(self):
+        rng = random.Random(5)
+        source = TruthTable.random(5, rng)
+        targets = (
+            [source.apply(random_transform(5, rng)) for _ in range(10)]
+            + [TruthTable.random(5, rng) for _ in range(10)]
+            + [source, ~source]
+        )
+        bulk = find_npn_transforms_from(source, targets)
+        singles = [find_npn_transform(source, t) for t in targets]
+        assert bulk == singles
+
+    def test_grouped_matches_singles_across_arities(self):
+        rng = random.Random(6)
+        pairs = []
+        for n in (3, 4, 6):
+            source = TruthTable.random(n, rng)
+            targets = [
+                source.apply(random_transform(n, rng)),
+                TruthTable.random(n, rng),
+                source,
+            ]
+            pairs.append((source, targets))
+        grouped = find_npn_transforms_grouped(pairs)
+        for (source, targets), row in zip(pairs, grouped):
+            assert row == [find_npn_transform(source, t) for t in targets]
+
+    def test_arity_mismatch_target_is_none(self):
+        source = TruthTable.random(4, random.Random(8))
+        bulk = find_npn_transforms_from(
+            source, [TruthTable(3, 6), source]
+        )
+        assert bulk[0] is None
+        assert bulk[1] is not None and bulk[1].is_identity
+
+    def test_empty_targets(self):
+        assert find_npn_transforms_from(TruthTable.majority(3), []) == []
+        assert find_npn_transforms_grouped([]) == []
+
+
+class TestVerificationFinalStep:
+    """Verification is one consistently-applied final step: whatever the
+    search produces — identity short-circuit included — is checked once
+    against ``source.apply(witness) == target`` before being returned."""
+
+    def test_bogus_search_result_is_rejected(self, monkeypatch):
+        """A corrupted (unverifiable) witness never escapes the matcher."""
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        or3 = TruthTable.from_function(3, lambda a, b, c: a | b | c)
+        bogus = NPNTransform((0, 1, 2), 0, 0)  # and3.apply(bogus) != or3
+        monkeypatch.setattr(
+            matcher,
+            "_search_transforms_grouped",
+            lambda pairs, cache_dir: [
+                [bogus] * len(targets) for _, targets in pairs
+            ],
+        )
+        assert find_npn_transform(and3, or3) is None
+        assert find_npn_transforms_from(and3, [or3, or3]) == [None, None]
+
+    def test_bogus_scalar_search_result_is_rejected(self, monkeypatch):
+        and3 = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        or3 = TruthTable.from_function(3, lambda a, b, c: a | b | c)
+        monkeypatch.setattr(
+            matcher,
+            "_scalar_search",
+            lambda source, target, keys: NPNTransform((0, 1, 2), 0, 0),
+        )
+        assert find_npn_transform_scalar(and3, or3) is None
+
+    def test_genuine_witnesses_survive_verification(self, monkeypatch):
+        """The verification step passes every honest search result."""
+        tt = TruthTable.majority(3)
+        image = tt.apply(NPNTransform((1, 2, 0), 0b010, 1))
+        assert find_npn_transform(tt, image) is not None
+
+    def test_identity_short_circuit_still_verified_path(self):
+        """f == g returns the identity through the same public flow."""
+        tt = TruthTable.random(6, random.Random(13))
+        witness = find_npn_transform(tt, tt)
+        assert witness is not None and witness.is_identity
+
+
+class TestVariableKeyMemoization:
+    def test_repeated_calls_hit_the_keyed_lru(self):
+        variable_keys.cache_clear()
+        tt = TruthTable.random(6, random.Random(21))
+        first = variable_keys(tt)
+        hits_before = variable_keys.cache_info().hits
+        assert variable_keys(tt) is first
+        assert variable_keys.cache_info().hits == hits_before + 1
+
+    def test_repeated_matches_reuse_source_keys(self):
+        """Matching many targets against one representative computes the
+        representative's key rows once."""
+        matcher._source_key_matrix.cache_clear()
+        rng = random.Random(22)
+        source = TruthTable.random(6, rng)
+        targets = [source.apply(random_transform(6, rng)) for _ in range(4)]
+        for target in targets:
+            assert find_npn_transform(source, target) is not None
+        info = matcher._source_key_matrix.cache_info()
+        assert info.misses == 1
+        assert info.hits >= len(targets) - 1
 
 
 @settings(max_examples=40, deadline=None)

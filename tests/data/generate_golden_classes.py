@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 
 from repro.core.classifier import FacePointClassifier
+from repro.library import library_from_result
 from repro.workloads.random_functions import (
     random_tables,
     seeded_equivalent_tables,
@@ -46,12 +47,20 @@ def main() -> None:
     for spec in WORKLOADS:
         tables = workload_tables(spec)
         result = FacePointClassifier().classify(tables)
+        library = library_from_result(result)
         entries.append(
             spec
             | {
                 "num_functions": result.num_functions,
                 "num_classes": result.num_classes,
                 "buckets_digest": result.buckets_digest(),
+                # Library identity pins: class ids are a pure function of
+                # the buckets, representatives additionally pin the
+                # canonical-minimum (n<=4) / election (n>=5) rules.
+                "classes": {
+                    e.class_id: e.representative.to_hex()
+                    for e in library.entries()
+                },
             }
         )
         print(

@@ -1,0 +1,243 @@
+"""Parity suite: every kernel primitive against its scalar oracle.
+
+The acceptance contract of the kernels layer: ``apply_transforms``,
+``orbit`` and ``canonical_min`` agree with the scalar
+:meth:`NPNTransform.apply` / :func:`exact_npn_canonical` for **all**
+transforms at ``n <= 3``, and under seeded fuzz at ``n = 5, 6``; the
+batched key rows agree with the matcher's scalar ``variable_keys``
+everywhere.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.baselines.matcher import variable_keys
+from repro.core.transforms import all_transforms, random_transform
+from repro.core.truth_table import TruthTable
+
+
+def _sample_tables(n, count, seed):
+    rng = random.Random(seed)
+    structured = [
+        TruthTable.constant(n, 0),
+        TruthTable.constant(n, 1),
+    ]
+    if n >= 1:
+        structured.append(TruthTable.projection(n, 0))
+    if n % 2 == 1:
+        structured.append(TruthTable.majority(n))
+    randoms = [TruthTable.random(n, rng) for _ in range(count)]
+    return structured + randoms
+
+
+class TestApplyTransformsAllTransformsSmallN:
+    @pytest.mark.parametrize("n", range(0, 4))
+    def test_every_transform_every_table(self, n):
+        """Exhaustive group parity at n <= 3 (group order up to 96)."""
+        tables = _sample_tables(n, 12, seed=n)
+        transforms = list(all_transforms(n))
+        images = kernels.apply_transforms(tables, transforms)
+        assert images.shape == (len(tables), len(transforms))
+        assert images.dtype == np.uint64
+        for b, tt in enumerate(tables):
+            for t, transform in enumerate(transforms):
+                assert int(images[b, t]) == tt.apply(transform).bits
+
+    def test_raw_ints_need_n(self):
+        with pytest.raises(ValueError, match="pass n"):
+            kernels.apply_transforms([5, 9], [])
+
+    def test_raw_ints_with_n(self):
+        transforms = list(all_transforms(2, include_output=False))
+        images = kernels.apply_transforms([0b0110, 0b1000], transforms, n=2)
+        for b, bits in enumerate((0b0110, 0b1000)):
+            for t, transform in enumerate(transforms):
+                assert int(images[b, t]) == transform.apply_table(bits, 2)
+
+    def test_mixed_arity_batch_rejected(self):
+        with pytest.raises(ValueError, match="mixed arities"):
+            kernels.apply_transforms(
+                [TruthTable(2, 3), TruthTable(3, 3)], []
+            )
+
+    def test_transform_arity_mismatch_rejected(self):
+        from repro.core.transforms import NPNTransform
+
+        with pytest.raises(ValueError, match="transform arity"):
+            kernels.apply_transforms(
+                [TruthTable(3, 7)], [NPNTransform.identity(2)]
+            )
+
+    def test_arity_above_kernel_range_rejected(self):
+        with pytest.raises(ValueError, match="n <= 6"):
+            kernels.apply_transforms([TruthTable(7, 1)], [])
+
+
+class TestApplyTransformsFuzz:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_seeded_fuzz(self, n):
+        rng = random.Random(1000 + n)
+        tables = [TruthTable.random(n, rng) for _ in range(10)]
+        transforms = [random_transform(n, rng) for _ in range(60)]
+        images = kernels.apply_transforms(tables, transforms)
+        for b, tt in enumerate(tables):
+            for t, transform in enumerate(transforms):
+                assert int(images[b, t]) == tt.apply(transform).bits
+
+
+class TestOrbit:
+    @pytest.mark.parametrize("n", range(0, 4))
+    def test_orbit_matches_all_transforms_order(self, n):
+        """The orbit enumerates images in all_transforms order."""
+        for tt in _sample_tables(n, 4, seed=10 + n):
+            reference = np.array(
+                [tt.apply(t).bits for t in all_transforms(n)],
+                dtype=np.uint64,
+            )
+            assert np.array_equal(kernels.orbit(tt), reference)
+
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_orbit_fuzz_spot_checks(self, n):
+        """Full order parity is n! * 2^(n+1) entries — check structure
+        plus randomly sampled positions against the scalar apply."""
+        rng = random.Random(20 + n)
+        tt = TruthTable.random(n, rng)
+        orbit = kernels.orbit(tt)
+        transforms = list(all_transforms(n))
+        assert len(orbit) == len(transforms)
+        for position in rng.sample(range(len(transforms)), 50):
+            assert int(orbit[position]) == tt.apply(transforms[position]).bits
+
+    def test_chunks_concatenate_to_orbit(self):
+        tt = TruthTable.random(5, random.Random(3))
+        chunks = list(kernels.orbit_chunks(tt))
+        assert len(chunks) >= 2  # streaming actually streams at n = 5
+        assert np.array_equal(np.concatenate(chunks), kernels.orbit(tt))
+
+    def test_np_only_orbit(self):
+        tt = TruthTable.random(3, random.Random(4))
+        np_orbit = kernels.orbit(tt, include_output=False)
+        reference = np.array(
+            [tt.apply(t).bits for t in all_transforms(3, include_output=False)],
+            dtype=np.uint64,
+        )
+        assert np.array_equal(np_orbit, reference)
+
+    def test_orbit_contains_canonical_minimum(self):
+        tt = TruthTable.random(6, random.Random(5))
+        assert int(kernels.orbit(tt).min()) == int(
+            kernels.canonical_min([tt])[0]
+        )
+
+
+class TestCanonicalMin:
+    @pytest.mark.parametrize("n", range(0, 4))
+    def test_exhaustive_small_n(self, n):
+        """Every table of the arity (256 at n = 3) vs the enum oracle."""
+        tables = [TruthTable(n, bits) for bits in range(1 << (1 << n))]
+        minima = kernels.canonical_min(tables)
+        for tt, bits in zip(tables, minima):
+            assert int(bits) == exact_npn_canonical(tt).representative.bits
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_seeded_fuzz(self, n):
+        rng = random.Random(30 + n)
+        count = {4: 64, 5: 24, 6: 8}[n]
+        tables = [TruthTable.random(n, rng) for _ in range(count)]
+        minima = kernels.canonical_min(tables)
+        for tt, bits in zip(tables, minima):
+            assert int(bits) == exact_npn_canonical(tt).representative.bits
+
+    def test_invariant_over_orbit(self):
+        rng = random.Random(40)
+        tt = TruthTable.random(6, rng)
+        images = [tt.apply(random_transform(6, rng)) for _ in range(12)]
+        minima = set(kernels.canonical_min([tt] + images).tolist())
+        assert len(minima) == 1
+
+    def test_single_table_wrapper(self):
+        tt = TruthTable.majority(3)
+        assert (
+            kernels.canonical_min_table(tt)
+            == exact_npn_canonical(tt).representative
+        )
+
+
+class TestKeyMatrices:
+    @pytest.mark.parametrize("n", range(0, 7))
+    def test_row_equality_iff_scalar_key_equality(self, n):
+        """Key rows are an exact encoding of the matcher's variable keys:
+        two variables (of possibly different tables) compare equal in
+        row form iff their scalar keys compare equal."""
+        rng = random.Random(50 + n)
+        tables = _sample_tables(n, 20, seed=50 + n)
+        matrices = kernels.key_matrices(n, [t.bits for t in tables])
+        rows = matrices.keys
+        scalar = [variable_keys(tt) for tt in tables]
+        for _ in range(200):
+            a, b = rng.randrange(len(tables)), rng.randrange(len(tables))
+            if n == 0:
+                continue
+            i, v = rng.randrange(n), rng.randrange(n)
+            assert (scalar[a][i] == scalar[b][v]) == bool(
+                (rows[a, i] == rows[b, v]).all()
+            )
+
+    def test_empty_batch(self):
+        """An empty batch yields empty matrices, not a concat crash."""
+        matrices = kernels.key_matrices(4, [])
+        assert matrices.counts.shape == (0,)
+        assert matrices.keys.shape == (0, 4, kernels.KEY_WIDTH)
+        assert matrices.cofactors.shape == (0, 4, 2)
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_counts_and_cofactors(self, n):
+        tables = _sample_tables(n, 15, seed=60 + n)
+        matrices = kernels.key_matrices(n, [t.bits for t in tables])
+        for b, tt in enumerate(tables):
+            assert int(matrices.counts[b]) == tt.count_ones()
+            for i in range(n):
+                assert tuple(matrices.cofactors[b, i]) == (
+                    tt.cofactor_count(i, 0),
+                    tt.cofactor_count(i, 1),
+                )
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_complement_matches_recomputation(self, n):
+        """Derived ~f encodings equal the encodings computed from ~f."""
+        tables = _sample_tables(n, 15, seed=70 + n)
+        matrices = kernels.key_matrices(n, [t.bits for t in tables])
+        derived = kernels.complement_key_matrices(matrices, n)
+        recomputed = kernels.key_matrices(n, [(~t).bits for t in tables])
+        assert np.array_equal(derived.counts, recomputed.counts)
+        assert np.array_equal(derived.keys, recomputed.keys)
+        assert np.array_equal(derived.cofactors, recomputed.cofactors)
+
+    def test_np_invariance_of_rows(self):
+        """Key row multisets are NP invariants, like the scalar keys."""
+        rng = random.Random(80)
+        from repro.core.transforms import NPNTransform
+
+        for _ in range(10):
+            tt = TruthTable.random(5, rng)
+            t = random_transform(5, rng)
+            image = tt.apply(NPNTransform(t.perm, t.input_phase, 0))
+            matrices = kernels.key_matrices(5, [tt.bits, image.bits])
+            original = sorted(map(tuple, matrices.keys[0].tolist()))
+            transformed = sorted(map(tuple, matrices.keys[1].tolist()))
+            assert original == transformed
+
+
+class TestBitMatrixRoundTrip:
+    @pytest.mark.parametrize("n", range(0, 7))
+    def test_pack_unpack(self, n):
+        rng = random.Random(90 + n)
+        ints = [rng.getrandbits(1 << n) for _ in range(25)]
+        bits = kernels.bit_matrix(n, ints)
+        assert bits.shape == (25, 1 << n)
+        packed = kernels.pack_rows(bits)
+        assert packed.tolist() == ints

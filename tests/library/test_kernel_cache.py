@@ -1,0 +1,99 @@
+"""Library-backed gather-table persistence and batched match parity."""
+
+import random
+
+import pytest
+
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+from repro.kernels.gather import clear_memory_cache
+from repro.library import ClassLibrary, build_library
+from repro.workloads import random_tables
+
+
+@pytest.fixture(autouse=True)
+def fresh_kernel_cache():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+@pytest.fixture()
+def mixed_library():
+    tables = random_tables(4, 60, 1) + random_tables(5, 60, 2) + random_tables(
+        6, 60, 3
+    )
+    return build_library(tables), tables
+
+
+class TestKernelCacheDir:
+    def test_fresh_library_has_no_cache_dir(self):
+        assert ClassLibrary().kernel_cache_dir is None
+
+    def test_save_sets_cache_dir_lazily(self, tmp_path, mixed_library):
+        library, tables = mixed_library
+        library.save(tmp_path / "lib")
+        assert library.kernel_cache_dir == tmp_path / "lib" / "kernels"
+        # Nothing written until a match actually builds a gather table.
+        assert not (tmp_path / "lib" / "kernels").exists()
+        library.match(tables[0])
+        cached = list((tmp_path / "lib" / "kernels").glob("gather_n*.npz"))
+        assert cached, "matching must persist the gather table it built"
+
+    def test_loaded_library_reuses_persisted_tables(self, tmp_path, mixed_library):
+        library, tables = mixed_library
+        library.save(tmp_path / "lib")
+        library.match_many(tables)
+        persisted = sorted(
+            p.name for p in (tmp_path / "lib" / "kernels").glob("*.npz")
+        )
+        assert persisted
+        clear_memory_cache()
+        reloaded = ClassLibrary.load(tmp_path / "lib")
+        assert reloaded.kernel_cache_dir == tmp_path / "lib" / "kernels"
+        rng = random.Random(9)
+        for tt in tables[:20]:
+            image = tt.apply(random_transform(tt.n, rng))
+            hit = reloaded.match(image)
+            assert hit is not None and hit.verify(image)
+
+    def test_match_without_cache_dir_writes_nothing(
+        self, tmp_path, monkeypatch, mixed_library
+    ):
+        monkeypatch.chdir(tmp_path)
+        library, tables = mixed_library
+        library.match_many(tables[:10])
+        assert not any(tmp_path.rglob("*.npz"))
+
+
+class TestBatchedMatchParity:
+    def test_match_many_equals_singles_with_witness_search(self, mixed_library):
+        """Grouped bulk matching returns exactly what per-query match
+        does — across arities, hits, misses, and planted orbits."""
+        library, tables = mixed_library
+        rng = random.Random(17)
+        queries = []
+        for tt in tables[::5]:
+            queries.append(tt.apply(random_transform(tt.n, rng)))  # witness
+            queries.append(tt)  # identity
+        queries += random_tables(6, 40, 99)  # mostly misses
+        rng.shuffle(queries)
+        bulk = library.match_many(queries)
+        for query, outcome in zip(queries, bulk):
+            single = library.match(query)
+            assert (single is None) == (outcome is None)
+            if outcome is not None:
+                assert outcome.class_id == single.class_id
+                assert outcome.transform == single.transform
+                assert outcome.verify(query)
+
+    def test_queries_sharing_a_class_are_resolved_together(self, mixed_library):
+        library, tables = mixed_library
+        rng = random.Random(23)
+        base = tables[0]
+        group = [base.apply(random_transform(base.n, rng)) for _ in range(12)]
+        outcomes = library.match_many(group)
+        class_ids = {o.class_id for o in outcomes}
+        assert len(class_ids) == 1
+        for query, outcome in zip(group, outcomes):
+            assert outcome.verify(query)

@@ -59,6 +59,27 @@ class TestEnginesReproduceGoldenBuckets:
         assert result.buckets_digest() == spec["buckets_digest"]
 
 
+class TestLibraryIdentityPins:
+    def test_class_ids_and_representatives_unchanged(self, golden_case):
+        """Class ids (and the canonical/elected representatives behind
+        them) are byte-identical to the golden data — the gather-kernel
+        build path must not move a single class."""
+        spec, tables = golden_case
+        library = library_from_result(FacePointClassifier().classify(tables))
+        derived = {
+            entry.class_id: entry.representative.to_hex()
+            for entry in library.entries()
+        }
+        assert derived == spec["classes"]
+
+    def test_batched_engine_builds_identical_ids(self, golden_case):
+        spec, tables = golden_case
+        library = library_from_result(BatchedClassifier().classify(tables))
+        assert {
+            e.class_id: e.representative.to_hex() for e in library.entries()
+        } == spec["classes"]
+
+
 class TestLibraryMatchPath:
     def test_library_resolves_every_corpus_function(self, golden_case):
         """Build a library from the buckets; every input must match back.

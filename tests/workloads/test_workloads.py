@@ -15,6 +15,7 @@ from repro.workloads.batched import packed_shards
 from repro.workloads.extraction import extract_cut_functions, extraction_report
 from repro.workloads.random_functions import (
     consecutive_tables,
+    hit_miss_queries,
     iter_random_tables,
     random_tables,
     seeded_equivalent_tables,
@@ -134,6 +135,29 @@ class TestRandomSets:
         lazy = iter_random_tables(5, 20, seed=6)
         assert not isinstance(lazy, list)  # genuinely a generator
         assert list(lazy) == random_tables(5, 20, seed=6)
+
+
+class TestHitMissQueries:
+    def test_deterministic_and_sized(self):
+        corpus_a, queries_a = hit_miss_queries(5, 30, 20, seed=11)
+        corpus_b, queries_b = hit_miss_queries(5, 30, 20, seed=11)
+        assert corpus_a == corpus_b and queries_a == queries_b
+        assert len(corpus_a) == 30 and len(queries_a) == 50
+        assert corpus_a == random_tables(5, 30, seed=11)
+
+    def test_hits_require_real_witness_searches(self):
+        """Hit queries are NPN images of corpus tables, not the tables
+        themselves — the library identity short-circuit must not fire."""
+        from repro.library import build_library
+
+        corpus, queries = hit_miss_queries(5, 25, 25, seed=12)
+        library = build_library(corpus)
+        outcomes = library.match_many(queries)
+        hits = [o for o in outcomes if o is not None]
+        assert len(hits) >= 25  # every planted image resolves
+        for query, outcome in zip(queries, outcomes):
+            if outcome is not None:
+                assert outcome.verify(query)
 
 
 class TestPackedShards:
