@@ -7,8 +7,9 @@ Subcommands:
 * ``suite``      — show the EPFL-like benchmark suite;
 * ``extract``    — run the cut-function extraction pipeline;
 * ``library``    — build/inspect/query a persistent NPN class library
-  (``library build | stats | match``);
-* ``serve``      — run the online classification daemon on a library;
+  (``library build | stats | match | compact``);
+* ``serve``      — run the online classification daemon on a library
+  (``--learn`` mints classes for unmatched queries into a WAL);
 * ``query``      — talk to a running daemon (``query match | classify |
   stats | ping``);
 * ``cutmatch``   — enumerate AIG cuts and match them against a library;
@@ -121,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     lib_stats.add_argument(
         "--library", default="npn_library", help="library directory"
     )
+    lib_compact = lib_sub.add_parser(
+        "compact",
+        help="merge write-ahead segments (from serve --learn) into the "
+        "library image and delete them",
+    )
+    lib_compact.add_argument(
+        "--library", default="npn_library", help="library directory"
+    )
     lib_match = lib_sub.add_parser(
         "match", help="resolve a function to its class id + witness transform"
     )
@@ -169,6 +178,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1 << 16,
         help="LRU match-cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--learn",
+        action="store_true",
+        help="learn on miss: mint a class for every unmatched query, "
+        "write-ahead log it, and compact into the library on drain",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="active WAL segment size that trips an automatic "
+        "compaction (requires --learn; default 1 MiB)",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        default=None,
+        choices=("always", "close", "never"),
+        help="WAL durability: fsync every record, only on segment "
+        "close (default), or never (requires --learn)",
     )
 
     query = sub.add_parser(
@@ -526,6 +556,8 @@ def _load_library_or_fail(path: str):
 def _cmd_library(args) -> int:
     if args.library_command == "build":
         return _cmd_library_build(args)
+    if args.library_command == "compact":
+        return _cmd_library_compact(args)
     library = _load_library_or_fail(args.library)
     if library is None:
         return 2
@@ -591,9 +623,31 @@ def _cmd_library_build(args) -> int:
     return 0
 
 
+def _cmd_library_compact(args) -> int:
+    from repro.library import LearningLibrary, LibraryFormatError
+
+    try:
+        learner = LearningLibrary.open(args.library, create=True)
+    except LibraryFormatError as exc:
+        print(f"cannot open library: {exc}", file=sys.stderr)
+        return 2
+    result = learner.compact()
+    if result.path is None:
+        print(f"{args.library}: no write-ahead segments to compact")
+        return 0
+    print(
+        f"compacted {result.merged_records} WAL records "
+        f"({result.removed_segments} segments) into {result.path} — "
+        f"{result.num_classes} classes"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.library import DEFAULT_SEGMENT_BYTES, LearningLibrary
+    from repro.library.store import LibraryFormatError
     from repro.service import ClassificationService
     from repro.service.coalescer import validate_service_knobs
 
@@ -610,7 +664,45 @@ def _cmd_serve(args) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    library = _load_library_or_fail(args.library)
+    if not args.learn:
+        for flag, value in (
+            ("--wal-segment-bytes", args.wal_segment_bytes),
+            ("--wal-fsync", args.wal_fsync),
+        ):
+            if value is not None:
+                print(f"{flag} requires --learn", file=sys.stderr)
+                return 2
+        library = _load_library_or_fail(args.library)
+        learner = None
+    else:
+        segment_bytes = (
+            DEFAULT_SEGMENT_BYTES
+            if args.wal_segment_bytes is None
+            else args.wal_segment_bytes
+        )
+        if segment_bytes < 1:
+            print(
+                f"--wal-segment-bytes must be >= 1, got {segment_bytes}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            # Open-with-replay: leftover segments from a crashed daemon
+            # are folded back in before the first request is served.
+            learner = LearningLibrary.open(
+                args.library,
+                segment_bytes=segment_bytes,
+                fsync=args.wal_fsync or "close",
+            )
+        except LibraryFormatError as exc:
+            print(
+                f"cannot load library: {exc}\n"
+                f"(build one with: repro-npn library build --inputs 4 "
+                f"--out {args.library})",
+                file=sys.stderr,
+            )
+            return 2
+        library = learner.library
     if library is None:
         return 2
     service = ClassificationService(
@@ -622,6 +714,7 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         cache_size=args.cache_size,
+        learner=learner,
     )
     try:
         asyncio.run(service.serve_forever())

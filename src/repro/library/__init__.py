@@ -16,6 +16,11 @@ from repro.library.build import (
     elect_representative,
     library_from_result,
 )
+from repro.library.online import (
+    DEFAULT_SEGMENT_BYTES,
+    CompactionResult,
+    LearningLibrary,
+)
 from repro.library.store import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -26,19 +31,38 @@ from repro.library.store import (
     LibraryMatch,
     NPNClassEntry,
 )
+from repro.library.wal import (
+    FSYNC_POLICIES,
+    WAL_DIR,
+    SegmentReplay,
+    SegmentWriter,
+    WalError,
+    list_segments,
+    replay_segment,
+)
 
 __all__ = [
     "ClassLibrary",
     "NPNClassEntry",
     "LibraryMatch",
     "LibraryFormatError",
+    "LearningLibrary",
+    "CompactionResult",
+    "SegmentWriter",
+    "SegmentReplay",
+    "WalError",
+    "list_segments",
+    "replay_segment",
     "build_library",
     "build_exhaustive_library",
     "library_from_result",
     "elect_representative",
     "EXACT_REP_MAX_VARS",
+    "DEFAULT_SEGMENT_BYTES",
+    "FSYNC_POLICIES",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "MANIFEST_FILE",
     "TABLES_FILE",
+    "WAL_DIR",
 ]

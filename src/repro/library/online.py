@@ -1,0 +1,322 @@
+"""Learn-on-miss: grow a class library from served traffic.
+
+A one-shot library answers the queries its build corpus anticipated and
+throws everything else away as a miss.  :class:`LearningLibrary` turns
+the library into a living artifact: a query matching no stored class is
+classified, minted as a new class (id derived from its signature digest,
+exactly like built classes), and appended to a write-ahead segment
+(:mod:`repro.library.wal`) so the knowledge survives a crash without
+rewriting the manifest+npz image per miss.
+
+Lifecycle::
+
+    open()     load manifest+npz (if present), replay WAL segments —
+               tolerating a torn final record — into memory
+    learn()    miss -> elect representative -> add_class -> WAL append
+    compact()  rewrite manifest+npz from the in-memory state, delete
+               the segments it absorbed
+
+Compaction runs in three situations: the serving drain hook
+(:meth:`repro.service.coalescer.Coalescer.stop`), the explicit
+``repro-npn library compact`` command, and automatically when the
+active segment crosses ``segment_bytes``.  It is **byte-deterministic
+for a fixed record set**: records merge by class id with summed sizes
+and minimum representatives — an order-independent fold — and
+:meth:`ClassLibrary.save` already writes canonical bytes, so any
+arrival order, segmentation, or crash/replay history of the same
+records compacts to the identical image.
+
+Minting keeps the library's representative contract: at
+``n <= EXACT_REP_MAX_VARS`` the minted representative is the exhaustive
+orbit minimum (a pure function of the class), above it the query itself
+is elected.  Either way the returned :class:`LibraryMatch` carries a
+verified witness, so a learned answer is exactly as trustworthy as a
+built one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.baselines.matcher import find_npn_transform
+from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv
+from repro.core.truth_table import TruthTable
+from repro.library.build import elect_representative
+from repro.library.store import (
+    ClassLibrary,
+    LibraryMatch,
+    MANIFEST_FILE,
+)
+from repro.library.wal import (
+    SegmentWriter,
+    WalError,
+    list_segments,
+    replay_segment,
+    segment_path,
+)
+
+__all__ = [
+    "LearningLibrary",
+    "CompactionResult",
+    "DEFAULT_SEGMENT_BYTES",
+]
+
+#: Active-segment size that trips an automatic compaction.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: Record fields every WAL entry must carry.
+_RECORD_FIELDS = ("class_id", "n", "representative", "size", "exact")
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :meth:`LearningLibrary.compact` call did.
+
+    Attributes:
+        merged_records: WAL records absorbed into the image.
+        removed_segments: segment files deleted after the merge.
+        num_classes: classes in the compacted image.
+        path: directory of the rewritten image (``None`` for a no-op).
+    """
+
+    merged_records: int
+    removed_segments: int
+    num_classes: int
+    path: Path | None
+
+
+class LearningLibrary:
+    """A :class:`ClassLibrary` plus the write-ahead state that grows it.
+
+    Args:
+        library: the in-memory library (already containing any replayed
+            classes — use :meth:`open` unless you are testing).
+        directory: the library directory; segments live in its ``wal/``
+            subdirectory and compaction rewrites its image in place.
+        segment_bytes: active-segment size tripping auto-compaction.
+        fsync: WAL durability policy (:data:`repro.library.wal.FSYNC_POLICIES`).
+    """
+
+    def __init__(
+        self,
+        library: ClassLibrary,
+        directory: str | Path,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: str = "close",
+    ) -> None:
+        if segment_bytes < 1:
+            raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        self.library = library
+        self.directory = Path(directory)
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        #: Classes minted by :meth:`learn` over this instance's lifetime.
+        self.minted = 0
+        #: Misses whose signature digest collided with a stored,
+        #: NPN-inequivalent class — reported as misses, never minted.
+        self.collisions = 0
+        #: WAL records not yet absorbed by a compaction (replayed + new).
+        self.pending_records = 0
+        #: Compactions performed (drain, explicit, or threshold-tripped).
+        self.compactions = 0
+        self._writer: SegmentWriter | None = None
+
+    # ------------------------------------------------------------------
+    # Opening and replay
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: str = "close",
+        create: bool = False,
+        parts=DEFAULT_PARTS,
+    ) -> "LearningLibrary":
+        """Load the image (if any) and replay every WAL segment.
+
+        With ``create``, a directory holding no image yet starts from an
+        empty library over ``parts`` — the segment-only crash case and
+        the grow-from-nothing case.  Without it, a missing image raises
+        like :meth:`ClassLibrary.load`.  Torn final records are
+        truncated away by the replay, never re-served.
+        """
+        directory = Path(directory)
+        if (directory / MANIFEST_FILE).exists() or not create:
+            library = ClassLibrary.load(directory)
+        else:
+            library = ClassLibrary(parts)
+            library.kernel_cache_dir = directory / "kernels"
+        learner = cls(
+            library, directory, segment_bytes=segment_bytes, fsync=fsync
+        )
+        learner._replay()
+        return learner
+
+    def _replay(self) -> None:
+        """Apply every segment's intact records to the in-memory library."""
+        for path in list_segments(self.directory):
+            replay = replay_segment(path)
+            for record in replay.records:
+                self._apply_record(record, path)
+            self.pending_records += len(replay.records)
+
+    def _apply_record(self, record: dict, path: Path) -> None:
+        """Validate one WAL record and fold it into the library."""
+        if any(field not in record for field in _RECORD_FIELDS):
+            missing = [f for f in _RECORD_FIELDS if f not in record]
+            raise WalError(f"{path}: record is missing fields {missing}")
+        try:
+            representative = TruthTable.from_hex(
+                int(record["n"]), record["representative"]
+            )
+            size = int(record["size"])
+        except (ValueError, TypeError) as exc:
+            raise WalError(f"{path}: bad record {record!r}: {exc}") from exc
+        if size < 1:
+            raise WalError(f"{path}: record size must be >= 1, got {size}")
+        entry = self.library.add_class(
+            representative, size=size, exact=bool(record["exact"])
+        )
+        if entry.class_id != record["class_id"]:
+            raise WalError(
+                f"{path}: record class id {record['class_id']!r} fails its "
+                f"signature check (recomputed {entry.class_id!r}) — the "
+                f"segment is corrupted or was produced by an incompatible "
+                f"signature implementation"
+            )
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def learn(
+        self, tt: TruthTable, signature: MixedSignature | None = None
+    ) -> LibraryMatch | None:
+        """Mint (or resolve) the class of a query that missed the library.
+
+        Call this only after :meth:`ClassLibrary.match` returned ``None``.
+        Three outcomes:
+
+        * the signature digest is new — the class is minted, WAL-logged,
+          and a verified match against it is returned;
+        * the digest is stored and the matcher proves the query
+          equivalent after all (a duplicate miss inside one coalescer
+          batch, racing the mint) — the existing match is returned, no
+          record written;
+        * the digest is stored but the query is NPN-inequivalent to the
+          representative (a genuine signature collision) — ``None``; the
+          id scheme cannot hold two orbits, so the miss stands and
+          :attr:`collisions` counts it.
+        """
+        if signature is None:
+            signature = compute_msv(tt, self.library.parts)
+        class_id = self.library.class_id_of(signature)
+        existing = self.library.classes.get(class_id)
+        if existing is not None:
+            witness = find_npn_transform(existing.representative, tt)
+            if witness is None:
+                self.collisions += 1
+                return None
+            return LibraryMatch(existing, witness)
+        representative, exact = elect_representative([tt])
+        entry = self.library.add_class(representative, size=1, exact=exact)
+        witness = find_npn_transform(representative, tt)
+        if witness is None:  # pragma: no cover - election produced non-member
+            raise WalError(
+                f"minted representative {representative!r} has no transform "
+                f"onto its own class member {tt!r}"
+            )
+        self._append(
+            {
+                "class_id": entry.class_id,
+                "n": entry.n,
+                "representative": representative.to_hex(),
+                "size": 1,
+                "exact": exact,
+            }
+        )
+        self.minted += 1
+        return LibraryMatch(entry, witness)
+
+    def _append(self, record: dict) -> None:
+        """Write one record, compacting when the segment threshold trips."""
+        if self._writer is None or self._writer.closed:
+            self._writer = SegmentWriter(
+                self._next_segment_path(), fsync=self.fsync
+            )
+        size = self._writer.append(record)
+        self.pending_records += 1
+        if size >= self.segment_bytes:
+            self.compact()
+
+    def _next_segment_path(self) -> Path:
+        existing = list_segments(self.directory)
+        if not existing:
+            return segment_path(self.directory, 0)
+        last = max(int(p.stem.rsplit("-", 1)[1]) for p in existing)
+        return segment_path(self.directory, last + 1)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> CompactionResult:
+        """Merge WAL segments into the manifest+npz image, then delete them.
+
+        A no-op (nothing rewritten, nothing deleted) when no records are
+        pending and no segment files exist.  Otherwise the in-memory
+        library — base image plus every replayed and live-minted record,
+        an order-independent fold — is saved, which is why the resulting
+        bytes depend only on the record set.
+        """
+        self.close_segment()
+        segments = list_segments(self.directory)
+        if not segments and self.pending_records == 0:
+            return CompactionResult(0, 0, self.library.num_classes, None)
+        path = self.library.save(self.directory)
+        for segment in segments:
+            segment.unlink()
+        merged = self.pending_records
+        self.pending_records = 0
+        self.compactions += 1
+        return CompactionResult(
+            merged_records=merged,
+            removed_segments=len(segments),
+            num_classes=self.library.num_classes,
+            path=path,
+        )
+
+    def close_segment(self) -> None:
+        """Seal the active segment (fsync per policy) without compacting."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> list[Path]:
+        """Segment files currently on disk, in replay order."""
+        return list_segments(self.directory)
+
+    def stats(self) -> dict:
+        """JSON-ready learning counters (for ``/v1/stats`` and the CLI)."""
+        return {
+            "classes_minted": self.minted,
+            "signature_collisions": self.collisions,
+            "wal_pending_records": self.pending_records,
+            "wal_segments": len(self.segments),
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LearningLibrary({str(self.directory)!r}, "
+            f"classes={self.library.num_classes}, minted={self.minted}, "
+            f"pending={self.pending_records})"
+        )

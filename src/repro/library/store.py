@@ -299,14 +299,19 @@ class ClassLibrary:
         whose signature cache persists across calls.
         """
         tts = list(tts)
-        if signatures is None:
-            signatures = self._signature_engine().signatures(tts)
-        else:
+        if signatures is not None:
             signatures = list(signatures)
             if len(signatures) != len(tts):
                 raise ValueError(
                     f"{len(signatures)} signatures for {len(tts)} queries"
                 )
+        if not self.classes or not tts:
+            # A library with no classes yet (empty, or all knowledge
+            # still in un-replayed WAL segments) answers every query
+            # with a clean miss — no signature pass, no matcher call.
+            return [None] * len(tts)
+        if signatures is None:
+            signatures = self._signature_engine().signatures(tts)
         out: list[LibraryMatch | None] = [None] * len(tts)
         groups: dict[str, list[int]] = {}
         for index, signature in enumerate(signatures):

@@ -1,0 +1,245 @@
+"""Write-ahead segments: crash-safe persistence for learned classes.
+
+The online service mints new classes while serving traffic (see
+:mod:`repro.library.online`).  Rewriting the whole ``manifest.json`` +
+``classes.npz`` image per minted class would turn every miss into a
+full-library write, so minted classes first land in an **append-only
+write-ahead segment** under ``<library>/wal/``:
+
+* a segment starts with a 16-byte magic string (format + version), so a
+  foreign or truncated-to-nothing file is rejected loudly;
+* each record is ``[u32 payload length][u32 CRC32][payload]``
+  (little-endian header, canonical-JSON payload), so replay needs no
+  framing heuristics and detects corruption per record;
+* appends go through a configurable fsync policy (:data:`FSYNC_POLICIES`):
+  ``always`` fsyncs every record (maximum durability), ``close`` fsyncs
+  once when the segment is sealed, ``never`` leaves flushing to the OS.
+
+Replay (:func:`replay_segment`) tolerates a **torn final record** — the
+expected artifact of a crash mid-append: a truncated header, a payload
+shorter than its declared length, a CRC mismatch or an undecodable
+payload all end the replay at the last intact record instead of raising.
+Everything *before* the tear is returned, which is exactly the
+at-least-once contract compaction needs.  A bad magic header, by
+contrast, always raises: that is not a torn write but a wrong file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.library.store import LibraryFormatError
+
+__all__ = [
+    "WAL_MAGIC",
+    "WAL_DIR",
+    "FSYNC_POLICIES",
+    "MAX_RECORD_BYTES",
+    "WalError",
+    "SegmentWriter",
+    "SegmentReplay",
+    "encode_record",
+    "decode_records",
+    "replay_segment",
+    "list_segments",
+    "segment_path",
+]
+
+#: First bytes of every segment file: format name + format version.
+WAL_MAGIC = b"repro-npn-wal/1\n"
+
+#: Subdirectory of a library holding its write-ahead segments.
+WAL_DIR = "wal"
+
+#: ``(payload length, CRC32 of payload)``, little-endian.
+_HEADER = struct.Struct("<II")
+
+#: Hard cap on one record's payload: a declared length beyond this is
+#: treated as corruption, not as an instruction to allocate gigabytes.
+MAX_RECORD_BYTES = 1 << 20
+
+#: When appended records reach the disk (see module docstring).
+FSYNC_POLICIES = ("always", "close", "never")
+
+
+class WalError(LibraryFormatError):
+    """A write-ahead segment is malformed beyond torn-tail tolerance."""
+
+
+def segment_path(directory: str | Path, index: int) -> Path:
+    """Canonical path of segment ``index`` under a library directory."""
+    return Path(directory) / WAL_DIR / f"segment-{index:06d}.wal"
+
+
+def list_segments(directory: str | Path) -> list[Path]:
+    """All segment files under ``<directory>/wal/``, in replay order."""
+    wal_dir = Path(directory) / WAL_DIR
+    if not wal_dir.is_dir():
+        return []
+    return sorted(wal_dir.glob("segment-*.wal"))
+
+
+def encode_record(record: dict) -> bytes:
+    """One record as ``header + canonical JSON`` bytes.
+
+    Canonical JSON (sorted keys, no whitespace) makes the encoding a
+    pure function of the record — the byte-determinism of compaction
+    starts here.
+    """
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode()
+    if len(payload) > MAX_RECORD_BYTES:
+        raise WalError(
+            f"record payload is {len(payload)} bytes "
+            f"(limit {MAX_RECORD_BYTES})"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_records(data: bytes) -> tuple[list[dict], bool, int]:
+    """Parse a record stream: ``(records, clean, valid_bytes)``.
+
+    ``clean`` is False when the stream ends in a torn record; in that
+    case ``valid_bytes`` is the offset of the last intact record
+    boundary (the safe truncation point).  ``data`` excludes the magic.
+    """
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            return records, False, offset
+        length, checksum = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            return records, False, offset
+        start = offset + _HEADER.size
+        if total - start < length:
+            return records, False, offset
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != checksum:
+            return records, False, offset
+        try:
+            record = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return records, False, offset
+        if not isinstance(record, dict):
+            return records, False, offset
+        records.append(record)
+        offset = start + length
+    return records, True, offset
+
+
+@dataclass(frozen=True)
+class SegmentReplay:
+    """Outcome of replaying one segment file.
+
+    Attributes:
+        path: the segment file.
+        records: every intact record, in append order.
+        clean: False when the file ends in a torn record (crash artifact).
+        valid_bytes: file offset of the last intact record boundary.
+    """
+
+    path: Path
+    records: list[dict]
+    clean: bool
+    valid_bytes: int
+
+
+def replay_segment(path: str | Path) -> SegmentReplay:
+    """Read one segment, tolerating a torn final record.
+
+    Raises :class:`WalError` when the file is missing or does not start
+    with :data:`WAL_MAGIC` — those are wrong files, not crash artifacts.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise WalError(f"{path}: cannot read segment: {exc}") from exc
+    if len(data) < len(WAL_MAGIC) or not data.startswith(WAL_MAGIC):
+        raise WalError(
+            f"{path}: not a {WAL_MAGIC[:-1].decode()} segment "
+            f"(bad or truncated magic header)"
+        )
+    records, clean, valid = decode_records(data[len(WAL_MAGIC):])
+    return SegmentReplay(
+        path=path,
+        records=records,
+        clean=clean,
+        valid_bytes=len(WAL_MAGIC) + valid,
+    )
+
+
+class SegmentWriter:
+    """Appends length-prefixed, checksummed records to one new segment.
+
+    Args:
+        path: segment file to create.  Creation is exclusive — an
+            existing file raises, because reusing a possibly-torn
+            segment would bury the tear mid-file where replay cannot
+            distinguish it from real corruption.  Crash recovery starts
+            a *new* segment instead.
+        fsync: one of :data:`FSYNC_POLICIES`.
+    """
+
+    def __init__(self, path: str | Path, fsync: str = "close") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {', '.join(FSYNC_POLICIES)}, "
+                f"got {fsync!r}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self.records_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "xb")
+        self._handle.write(WAL_MAGIC)
+        self._handle.flush()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    @property
+    def bytes_written(self) -> int:
+        """Current segment size in bytes (magic included)."""
+        return self._handle.tell() if not self.closed else 0
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns the segment size after it."""
+        if self.closed:
+            raise WalError(f"{self.path}: segment writer is closed")
+        self._handle.write(encode_record(record))
+        self._handle.flush()
+        if self.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self.records_written += 1
+        return self._handle.tell()
+
+    def close(self) -> None:
+        """Seal the segment (fsyncs under the ``close`` policy)."""
+        if self.closed:
+            return
+        self._handle.flush()
+        if self.fsync in ("always", "close"):
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentWriter({str(self.path)!r}, fsync={self.fsync!r}, "
+            f"records={self.records_written})"
+        )

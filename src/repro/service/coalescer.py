@@ -23,6 +23,15 @@ coalescer wins it back:
 
 ``max_batch=1`` degenerates to classic request-at-a-time serving — the
 configuration the throughput benchmark uses as its baseline.
+
+With a :class:`~repro.library.online.LearningLibrary` attached
+(``serve --learn``), a ``match`` miss takes one extra step on the same
+executor thread: the query's class is minted, WAL-logged, and the reply
+upgraded to a verified hit against the new class — so the *first* miss
+already answers with a class id, and every subsequent equivalent query
+hits it through the cache or the normal match path.  The drain hook
+compacts the WAL into the library image after the backlog is answered,
+so a SIGTERM'd learning daemon leaves a clean artifact behind.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from dataclasses import dataclass, field
 from repro.core.msv import compute_msv
 from repro.core.truth_table import TruthTable
 from repro.engine import make_classifier
+from repro.library.online import LearningLibrary
 from repro.library.store import ClassLibrary
 from repro.service.cache import MatchCache
 from repro.service.metrics import ServiceMetrics
@@ -112,6 +122,8 @@ class Coalescer:
             fail fast with ``overloaded``.
         cache_size: LRU capacity of the match cache (``0`` disables).
         metrics: shared :class:`ServiceMetrics` (a fresh one by default).
+        learner: attach a :class:`LearningLibrary` wrapping ``library``
+            to mint classes on misses (``None`` serves read-only).
     """
 
     def __init__(
@@ -123,6 +135,7 @@ class Coalescer:
         max_pending: int = DEFAULT_MAX_PENDING,
         cache_size: int = 1 << 16,
         metrics: ServiceMetrics | None = None,
+        learner: LearningLibrary | None = None,
     ) -> None:
         validate_service_knobs(
             engine=engine,
@@ -131,7 +144,13 @@ class Coalescer:
             max_pending=max_pending,
             cache_size=cache_size,
         )
+        if learner is not None and learner.library is not library:
+            raise ValueError(
+                "learner must wrap the same ClassLibrary the coalescer "
+                "serves (matches and mints would diverge otherwise)"
+            )
         self.library = library
+        self.learner = learner
         self.classifier = make_classifier(engine, parts=library.parts)
         self.engine = engine
         self.max_batch = max_batch
@@ -179,6 +198,10 @@ class Coalescer:
         if self._worker is not None:
             await self._worker
         self._executor.shutdown(wait=True)
+        if self.learner is not None:
+            # Drain hook: every queued request is answered by now, so
+            # the WAL is quiescent — fold it into the library image.
+            self.learner.compact()
 
     # ------------------------------------------------------------------
     # Submission
@@ -292,7 +315,18 @@ class Coalescer:
         results = []
         for index, pending in enumerate(batch):
             if pending.op == "match":
-                results.append((by_index[index], False))
+                outcome = by_index[index]
+                if outcome is None and self.learner is not None:
+                    # Learn-on-miss: mint the class (WAL-logged) and
+                    # answer with a verified match against it.  Still
+                    # None on a signature collision — the miss stands.
+                    before = self.learner.minted
+                    outcome = self.learner.learn(
+                        tables[index], signatures[index]
+                    )
+                    if self.learner.minted > before:
+                        self.metrics.record_minted()
+                results.append((outcome, False))
             else:  # classify
                 class_id = self.library.class_id_of(signatures[index])
                 results.append((class_id, class_id in self.library.classes))
@@ -315,6 +349,13 @@ class Coalescer:
         """The classify answer without going through a batch (for tests)."""
         class_id = self.library.class_id_of(compute_msv(table, self.library.parts))
         return class_id, class_id in self.library.classes
+
+    def stats_snapshot(self) -> dict:
+        """Metrics snapshot, extended with WAL state when learning."""
+        snapshot = self.metrics.snapshot()
+        if self.learner is not None:
+            snapshot["learning"] = self.learner.stats()
+        return snapshot
 
     @property
     def pending(self) -> int:

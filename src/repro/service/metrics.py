@@ -73,6 +73,7 @@ class ServiceMetrics:
         self.max_batch_size = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.classes_minted = 0
         self.latency = LatencyWindow(reservoir)
 
     # ------------------------------------------------------------------
@@ -99,6 +100,10 @@ class ServiceMetrics:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    def record_minted(self) -> None:
+        """One class learned on a miss (the ``serve --learn`` path)."""
+        self.classes_minted += 1
 
     # ------------------------------------------------------------------
     # Readout
@@ -131,6 +136,7 @@ class ServiceMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "classes_minted": self.classes_minted,
             "latency_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
             "latency_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
             "latency_samples": len(self.latency),

@@ -63,6 +63,9 @@ class ClassificationService:
             :attr:`port` after :meth:`start`).
         engine / max_batch / max_wait_ms / max_pending / cache_size:
             coalescer knobs, see :class:`Coalescer`.
+        learner: a :class:`~repro.library.online.LearningLibrary`
+            wrapping ``library`` — attaches learn-on-miss minting and
+            the drain-time WAL compaction (``serve --learn``).
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class ClassificationService:
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         max_pending: int = DEFAULT_MAX_PENDING,
         cache_size: int = 1 << 16,
+        learner=None,
     ) -> None:
         self.library = library
         self.host = host
@@ -88,6 +92,7 @@ class ClassificationService:
             max_pending=max_pending,
             cache_size=cache_size,
             metrics=self.metrics,
+            learner=learner,
         )
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -368,10 +373,11 @@ class ClassificationService:
                 "arities": list(self.library.arities()),
                 "address": self.address,
                 "draining": self.coalescer.closing,
+                "learning": self.coalescer.learner is not None,
             }
         if method == "GET" and path == "/v1/stats":
             self.metrics.record_request("stats")
-            snapshot = self.metrics.snapshot()
+            snapshot = self.coalescer.stats_snapshot()
             self.metrics.record_reply(loop.time() - t0)
             return 200, snapshot
         if method == "POST" and path in ("/v1/classify", "/v1/match"):
@@ -399,7 +405,7 @@ class ClassificationService:
         if request.op == "ping":
             return {"pong": True, "classes": self.library.num_classes}
         if request.op == "stats":
-            return self.metrics.snapshot()
+            return self.coalescer.stats_snapshot()
         future = self.coalescer.submit(request.op, request.table)
         if request.op == "match":
             outcome, cached = await future

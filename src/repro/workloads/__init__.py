@@ -9,6 +9,7 @@ from repro.workloads.batched import (
 )
 from repro.workloads.epfl import epfl_like_suite, suite_summary
 from repro.workloads.extraction import extract_cut_functions, extraction_report
+from repro.workloads.learning import miss_heavy_queries, with_repeats
 from repro.workloads.library_corpus import (
     corpus_for_arity,
     exhaustive_tables,
@@ -32,6 +33,8 @@ __all__ = [
     "consecutive_tables",
     "seeded_equivalent_tables",
     "hit_miss_queries",
+    "miss_heavy_queries",
+    "with_repeats",
     "packed_random_tables",
     "packed_consecutive_tables",
     "packed_equivalent_tables",

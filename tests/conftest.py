@@ -1,0 +1,32 @@
+"""Suite-wide pytest configuration: hypothesis profiles.
+
+Two profiles, selected by the ``HYPOTHESIS_PROFILE`` environment
+variable (the profile names double as its values):
+
+* ``ci`` (the default): **derandomized** — every run draws the same
+  examples, so tier-1 stays reproducible run-to-run and a red CI is a
+  real regression, never fuzz luck.  ``deadline=None`` because shared
+  runners stall arbitrarily; example counts stay at the hypothesis
+  default so shrinking quality is unaffected.
+* ``dev``: randomized with a bigger example budget — run locally
+  (``HYPOTHESIS_PROFILE=dev``) to actually hunt new counterexamples;
+  failures persist in hypothesis's example database and replay first.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

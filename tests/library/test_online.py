@@ -1,0 +1,252 @@
+"""Tests for the learn-on-miss library (replay, mint, compact, recover).
+
+Covers the :class:`LearningLibrary` lifecycle end to end — open with and
+without an image, crash-recovery replay (including a torn final record),
+minting with verified witnesses, the signature-collision guard, the
+segment-size compaction trip — plus the clean-miss pins: an empty
+library and a segment-only library must answer unknown queries with an
+honest miss, never an error.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.core.truth_table import TruthTable
+from repro.library import (
+    ClassLibrary,
+    EXACT_REP_MAX_VARS,
+    LearningLibrary,
+    LibraryFormatError,
+    SegmentWriter,
+    WalError,
+    build_exhaustive_library,
+    list_segments,
+    replay_segment,
+)
+from repro.library.wal import segment_path
+
+
+def make_learner(tmp_path, **kwargs) -> LearningLibrary:
+    return LearningLibrary.open(tmp_path, create=True, **kwargs)
+
+
+class TestCleanMiss:
+    """Satellite pin: no knowledge means a miss, never an exception."""
+
+    def test_empty_library_match_is_none(self):
+        library = ClassLibrary()
+        tt = TruthTable.majority(3)
+        assert library.match(tt) is None
+        assert library.match_many([tt, ~tt]) == [None, None]
+
+    def test_empty_library_match_many_still_validates_signatures(self):
+        with pytest.raises(ValueError):
+            ClassLibrary().match_many([TruthTable.majority(3)], signatures=[])
+
+    def test_fresh_segment_only_library_misses_unknown_queries(self, tmp_path):
+        # Knowledge exists solely in an un-compacted WAL segment; a query
+        # outside it must miss cleanly through the replayed state too.
+        learner = make_learner(tmp_path)
+        learner.learn(TruthTable.majority(3))
+        learner.close_segment()
+
+        reopened = make_learner(tmp_path)
+        assert reopened.segments  # still segment-only: no image written
+        unknown = TruthTable.from_hex(6, "deadbeefcafe4242")
+        assert reopened.library.match(unknown) is None
+
+    def test_open_without_create_requires_an_image(self, tmp_path):
+        with pytest.raises(LibraryFormatError):
+            LearningLibrary.open(tmp_path / "nowhere")
+
+
+class TestLearn:
+    def test_mint_returns_verified_match_and_logs_record(self, tmp_path):
+        learner = make_learner(tmp_path)
+        tt = TruthTable.random(5, random.Random(1))
+        outcome = learner.learn(tt)
+        assert outcome is not None
+        assert outcome.verify(tt)
+        assert learner.minted == 1
+        assert learner.pending_records == 1
+        assert learner.library.num_classes == 1
+
+        learner.close_segment()
+        (segment,) = learner.segments
+        (record,) = replay_segment(segment).records
+        assert record["class_id"] == outcome.class_id
+        assert record["n"] == 5
+
+    def test_minted_rep_is_orbit_minimum_at_small_n(self, tmp_path):
+        learner = make_learner(tmp_path)
+        tt = TruthTable.random(EXACT_REP_MAX_VARS, random.Random(2))
+        outcome = learner.learn(tt)
+        assert outcome.entry.exact
+        assert (
+            outcome.representative
+            == exact_npn_canonical(tt).representative
+        )
+
+    def test_identical_miss_resolves_against_minted_class(self, tmp_path):
+        # The second identical miss in one batch races the mint; it must
+        # resolve to the existing class without another record.
+        learner = make_learner(tmp_path)
+        tt = TruthTable.random(5, random.Random(3))
+        first = learner.learn(tt)
+        second = learner.learn(tt)
+        assert second is not None
+        assert second.class_id == first.class_id
+        assert second.verify(tt)
+        assert learner.minted == 1
+        assert learner.pending_records == 1
+        assert learner.collisions == 0
+
+    def test_npn_image_of_minted_class_is_resolved_not_reminted(
+        self, tmp_path
+    ):
+        learner = make_learner(tmp_path)
+        tt = TruthTable.random(5, random.Random(4))
+        learner.learn(tt)
+        image = ~tt.flip_inputs(0b10101)
+        outcome = learner.learn(image)
+        assert outcome is not None
+        assert outcome.verify(image)
+        assert learner.minted == 1
+
+    def test_signature_collision_stays_a_miss(self, tmp_path):
+        # Synthesize a collision: plant an NPN-inequivalent function
+        # under the query's own digest, so learn() finds the id taken
+        # but the witness matcher proves the orbits differ.
+        from repro.core.msv import compute_msv
+        from repro.library.store import NPNClassEntry
+
+        learner = make_learner(tmp_path)
+        tt = TruthTable.random(5, random.Random(5))
+        signature = compute_msv(tt, learner.library.parts)
+        class_id = learner.library.class_id_of(signature)
+        other = TruthTable(5, 0)  # constant-0: not NPN-equivalent to tt
+        learner.library.classes[class_id] = NPNClassEntry.from_representative(
+            class_id=class_id, representative=other, size=1, exact=False
+        )
+        outcome = learner.learn(tt, signature)
+        assert outcome is None
+        assert learner.collisions == 1
+        assert learner.minted == 0
+        assert learner.stats()["signature_collisions"] == 1
+
+
+class TestReplayAndRecovery:
+    def test_reopen_replays_minted_classes(self, tmp_path):
+        learner = make_learner(tmp_path)
+        rng = random.Random(6)
+        queries = [TruthTable.random(5, rng) for _ in range(6)]
+        for tt in queries:
+            learner.learn(tt)
+        minted = learner.minted
+        learner.close_segment()  # crash before compaction
+
+        recovered = make_learner(tmp_path)
+        assert recovered.library.num_classes == minted
+        assert recovered.pending_records == minted
+        for tt in queries:
+            outcome = recovered.library.match(tt)
+            assert outcome is not None and outcome.verify(tt)
+
+    def test_reopen_tolerates_torn_final_record(self, tmp_path):
+        learner = make_learner(tmp_path)
+        rng = random.Random(7)
+        for _ in range(3):
+            learner.learn(TruthTable.random(5, rng))
+        learner.close_segment()
+        (segment,) = learner.segments
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-5])  # tear mid-way through record 3
+
+        recovered = make_learner(tmp_path)
+        assert recovered.library.num_classes == 2
+        assert recovered.pending_records == 2
+
+    def test_replay_rejects_tampered_class_id(self, tmp_path):
+        learner = make_learner(tmp_path)
+        learner.learn(TruthTable.random(5, random.Random(8)))
+        learner.close_segment()
+        (segment,) = learner.segments
+        (record,) = replay_segment(segment).records
+        record["class_id"] = "n5-0000000000000000"
+        segment.unlink()
+        with SegmentWriter(segment) as writer:
+            writer.append(record)
+        with pytest.raises(WalError, match="signature check"):
+            make_learner(tmp_path)
+
+    def test_replay_rejects_missing_fields(self, tmp_path):
+        with SegmentWriter(segment_path(tmp_path, 0)) as writer:
+            writer.append({"class_id": "n5-00", "n": 5})
+        with pytest.raises(WalError, match="missing fields"):
+            make_learner(tmp_path)
+
+    def test_replay_on_top_of_saved_image(self, tmp_path):
+        base = build_exhaustive_library(3)
+        base.save(tmp_path)
+        learner = LearningLibrary.open(tmp_path)
+        tt = TruthTable.from_hex(6, "0123456789abcdef")
+        assert learner.library.match(tt) is None
+        learner.learn(tt)
+        learner.close_segment()
+
+        recovered = LearningLibrary.open(tmp_path)
+        assert recovered.library.num_classes == base.num_classes + 1
+        hit = recovered.library.match(tt)
+        assert hit is not None and hit.verify(tt)
+
+
+class TestCompaction:
+    def test_compact_merges_and_removes_segments(self, tmp_path):
+        learner = make_learner(tmp_path)
+        rng = random.Random(9)
+        for _ in range(4):
+            learner.learn(TruthTable.random(5, rng))
+        result = learner.compact()
+        assert result.merged_records == learner.library.num_classes
+        assert result.removed_segments == 1
+        assert result.path == tmp_path
+        assert learner.segments == []
+        assert learner.pending_records == 0
+
+        # The compacted image alone now answers the learned classes.
+        reloaded = ClassLibrary.load(tmp_path)
+        assert reloaded.num_classes == learner.library.num_classes
+
+    def test_compact_without_pending_work_is_a_noop(self, tmp_path):
+        learner = make_learner(tmp_path)
+        result = learner.compact()
+        assert result.path is None
+        assert result.merged_records == 0
+        assert learner.compactions == 0
+
+    def test_segment_threshold_trips_automatic_compaction(self, tmp_path):
+        learner = make_learner(tmp_path, segment_bytes=1)
+        learner.learn(TruthTable.random(5, random.Random(10)))
+        # One record crosses the 1-byte threshold: compacted immediately.
+        assert learner.compactions == 1
+        assert learner.segments == []
+        assert learner.pending_records == 0
+        assert ClassLibrary.load(tmp_path).num_classes == 1
+
+    def test_stats_counters(self, tmp_path):
+        learner = make_learner(tmp_path)
+        learner.learn(TruthTable.random(5, random.Random(11)))
+        stats = learner.stats()
+        assert stats == {
+            "classes_minted": 1,
+            "signature_collisions": 0,
+            "wal_pending_records": 1,
+            "wal_segments": 1,
+            "compactions": 0,
+        }
+
+    def test_invalid_segment_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_learner(tmp_path, segment_bytes=0)

@@ -8,11 +8,17 @@ suite enforces it for *all three* engines — the per-function
 ``FacePointClassifier``, the vectorized ``BatchedClassifier`` and the
 multi-process ``ShardedClassifier`` — from two directions:
 
-* **Random orbits** (n = 3..6): a seeded generator builds NPN images by
+* **Hypothesis orbits** (n = 3..6, shrinking): the
+  :func:`tests.strategies.npn_orbits` strategy builds NPN images by
   applying input permutations and input/output negations *directly to
   truth tables* through ``TruthTable`` primitives — deliberately not via
   ``repro.core.transforms.NPNTransform`` — so a bug in the transform
-  algebra cannot mask a bug in the signatures, or vice versa.
+  algebra cannot mask a bug in the signatures, or vice versa.  A
+  violation shrinks to the smallest arity and simplest orbit that still
+  splits.  The in-process engines run under ``@given``; the sharded
+  engine keeps a seeded orbit-soup workload (one pool spin-up per
+  hypothesis example would dominate the suite) — its bucket parity with
+  the fuzzed engines is asserted on the same soup.
 * **Exhaustive small n**: every one of the ``2^(2^n)`` functions at
   n ≤ 3 (and a strided slice of n = 4), asserting all engines produce
   identical ``ClassificationResult`` buckets and that the class counts
@@ -22,10 +28,12 @@ multi-process ``ShardedClassifier`` — from two directions:
 import random
 
 import pytest
+from hypothesis import given
 
 from repro.core.classifier import FacePointClassifier
 from repro.core.truth_table import TruthTable
 from repro.engine import BatchedClassifier, ShardedClassifier
+from tests.strategies import npn_orbits
 
 #: Number of NPN equivalence classes over all n-variable functions
 #: (OEIS A000370).  At n <= 3 the MSV is a perfect discriminator, so the
@@ -102,17 +110,50 @@ class TestOrbitGenerator:
         assert first == second
 
 
+#: Engines cheap enough to instantiate once per hypothesis example; the
+#: sharded engine (process-pool spin-up) stays on the seeded soup below.
+FUZZ_ENGINES = ("batched", "perfn")
+
+
 class TestNeverSplit:
     """Property: every engine keeps each orbit inside a single bucket."""
 
-    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize("engine", FUZZ_ENGINES)
+    @given(npn_orbits(max_images=6))
+    def test_orbits_never_split(self, engine, orbit):
+        seed_function, images = orbit
+        flat = [seed_function, *images]
+        result = ENGINES[engine]().classify(flat)
+        assert result.num_functions == len(flat)
+        # The whole orbit is NPN-equivalent and the MSV is invariant, so
+        # the engine must produce exactly one bucket holding everything.
+        assert result.num_classes == 1, (
+            f"orbit split into {result.num_classes} buckets"
+        )
+        placement = bucket_index_by_table(result)
+        assert len({placement[tt] for tt in flat}) == 1
+
+    @pytest.mark.parametrize("engine", FUZZ_ENGINES)
+    @given(npn_orbits(max_images=8))
+    def test_orbit_signatures_are_equal(self, engine, orbit):
+        """Stronger than bucketing: the signatures themselves coincide."""
+        seed_function, images = orbit
+        flat = [seed_function, *images]
+        classifier = ENGINES[engine]()
+        if hasattr(classifier, "signatures"):
+            signatures = classifier.signatures(flat)
+        else:
+            signatures = [classifier.signature(tt) for tt in flat]
+        assert len(set(signatures)) == 1
+
     @pytest.mark.parametrize("n", [3, 4, 5, 6])
-    def test_random_orbits_never_split(self, engine, n):
+    def test_sharded_orbit_soup_never_splits(self, n):
+        """Seeded soup for the pool engine: one spin-up, many orbits."""
         rng = random.Random(1000 + n)
         orbits = [random_orbit(n, 6, rng) for _ in range(8)]
         flat = [tt for orbit in orbits for tt in orbit]
         rng.shuffle(flat)
-        result = ENGINES[engine]().classify(flat)
+        result = ShardedClassifier(workers=2, shard_size=5).classify(flat)
         assert result.num_functions == len(flat)
         # Sound, never-split: at most one bucket per planted orbit.
         assert result.num_classes <= len(orbits)
@@ -120,19 +161,6 @@ class TestNeverSplit:
         for orbit in orbits:
             buckets = {placement[tt] for tt in orbit}
             assert len(buckets) == 1, f"orbit split across buckets {buckets}"
-
-    @pytest.mark.parametrize("engine", sorted(ENGINES))
-    @pytest.mark.parametrize("n", [3, 4, 5, 6])
-    def test_orbit_signatures_are_equal(self, engine, n):
-        """Stronger than bucketing: the signatures themselves coincide."""
-        rng = random.Random(2000 + 31 * n)
-        orbit = random_orbit(n, 10, rng)
-        classifier = ENGINES[engine]()
-        if hasattr(classifier, "signatures"):
-            signatures = classifier.signatures(orbit)
-        else:
-            signatures = [classifier.signature(tt) for tt in orbit]
-        assert len(set(signatures)) == 1
 
     @pytest.mark.parametrize("n", [3, 4, 5])
     def test_engines_agree_on_orbit_workload(self, n):

@@ -1,7 +1,13 @@
-"""Seeded fuzz suite for the NPN transform group and the witness matcher.
+"""Property fuzz for the NPN transform group and the witness matcher.
 
-Random transforms at n = 3..6 exercise the three contracts everything
-above :mod:`repro.core.transforms` quietly relies on:
+Ported from seeded loops to hypothesis ``@given`` (see
+:mod:`tests.strategies`): the strategies draw the arity (3..6) together
+with tables and transforms, so one property covers every supported
+single-word arity and a failure shrinks to the smallest arity and
+simplest table/transform that still breaks it.
+
+The three contracts everything above :mod:`repro.core.transforms`
+quietly relies on:
 
 * group structure — ``compose``/``inverse`` round-trip to the identity
   and ``compose`` agrees with function composition on tables;
@@ -10,109 +16,79 @@ above :mod:`repro.core.transforms` quietly relies on:
 * witness completeness — ``find_npn_transform(f, t(f))`` always returns
   a transform that verifiably reproduces the image.
 
-All randomness is seeded: a failure reproduces byte-for-byte.
+Runs are derandomized under the default ``ci`` profile (see
+``tests/conftest.py``), so a failure reproduces byte-for-byte.
 """
 
-import random
-
 import pytest
+from hypothesis import given
 
 from repro.baselines.matcher import find_npn_transform
-from repro.core.transforms import NPNTransform, random_transform
-from repro.core.truth_table import TruthTable
-
-SEED = 0x5EED
-ROUNDS = 15
-
-ARITIES = pytest.mark.parametrize("n", range(3, 7))
+from repro.core.transforms import NPNTransform
+from tests.strategies import npn_transforms, tables_with_transforms
 
 
-def _rng(n: int, salt: int) -> random.Random:
-    return random.Random(SEED + 1000 * n + salt)
-
-
-@ARITIES
 class TestGroupLaws:
-    def test_compose_inverse_round_trips_to_identity(self, n):
-        rng = _rng(n, 1)
-        for _ in range(ROUNDS):
-            t = random_transform(n, rng)
-            assert t.compose(t.inverse()).is_identity
-            assert t.inverse().compose(t).is_identity
-            assert t.inverse().inverse() == t
+    @given(npn_transforms())
+    def test_compose_inverse_round_trips_to_identity(self, t):
+        assert t.compose(t.inverse()).is_identity
+        assert t.inverse().compose(t).is_identity
+        assert t.inverse().inverse() == t
 
-    def test_inverse_undoes_the_action_on_tables(self, n):
-        rng = _rng(n, 2)
-        for _ in range(ROUNDS):
-            t = random_transform(n, rng)
-            f = TruthTable.random(n, rng)
-            assert f.apply(t).apply(t.inverse()) == f
+    @given(tables_with_transforms(transforms=1))
+    def test_inverse_undoes_the_action_on_tables(self, case):
+        f, (t,) = case
+        assert f.apply(t).apply(t.inverse()) == f
 
-    def test_compose_agrees_with_sequential_application(self, n):
-        rng = _rng(n, 3)
-        for _ in range(ROUNDS):
-            t, u = random_transform(n, rng), random_transform(n, rng)
-            f = TruthTable.random(n, rng)
-            assert f.apply(u).apply(t) == f.apply(t.compose(u))
+    @given(tables_with_transforms(transforms=2))
+    def test_compose_agrees_with_sequential_application(self, case):
+        f, (t, u) = case
+        assert f.apply(u).apply(t) == f.apply(t.compose(u))
 
-    def test_associativity_on_tables(self, n):
-        rng = _rng(n, 4)
-        for _ in range(5):
-            a, b, c = (random_transform(n, rng) for _ in range(3))
-            f = TruthTable.random(n, rng)
-            assert f.apply(a.compose(b).compose(c)) == f.apply(
-                a.compose(b.compose(c))
-            )
+    @given(tables_with_transforms(transforms=3))
+    def test_associativity_on_tables(self, case):
+        f, (a, b, c) = case
+        assert f.apply(a.compose(b).compose(c)) == f.apply(
+            a.compose(b.compose(c))
+        )
 
 
-@ARITIES
 class TestActionCoherence:
-    def test_apply_table_agrees_with_apply_index(self, n):
+    @given(tables_with_transforms(transforms=1))
+    def test_apply_table_agrees_with_apply_index(self, case):
         """Bit ``m`` of ``t(f)`` is ``output_phase ^ f(apply_index(m))``."""
-        rng = _rng(n, 5)
-        for _ in range(ROUNDS):
-            t = random_transform(n, rng)
-            f = TruthTable.random(n, rng)
-            g = f.apply(t)
-            for index in range(1 << n):
-                expected = t.output_phase ^ f.evaluate(t.apply_index(index))
-                assert g.evaluate(index) == expected
+        f, (t,) = case
+        g = f.apply(t)
+        for index in range(1 << f.n):
+            expected = t.output_phase ^ f.evaluate(t.apply_index(index))
+            assert g.evaluate(index) == expected
 
-    def test_apply_index_is_a_bijection(self, n):
-        rng = _rng(n, 6)
-        for _ in range(ROUNDS):
-            t = random_transform(n, rng)
-            images = {t.apply_index(index) for index in range(1 << n)}
-            assert images == set(range(1 << n))
+    @given(npn_transforms())
+    def test_apply_index_is_a_bijection(self, t):
+        images = {t.apply_index(index) for index in range(1 << t.n)}
+        assert images == set(range(1 << t.n))
 
 
-@ARITIES
 class TestWitnessRecovery:
-    def test_matcher_always_returns_a_verified_witness(self, n):
-        rng = _rng(n, 7)
-        for _ in range(ROUNDS):
-            f = TruthTable.random(n, rng)
-            t = random_transform(n, rng)
-            image = f.apply(t)
-            witness = find_npn_transform(f, image)
-            assert witness is not None
-            assert f.apply(witness) == image
+    @given(tables_with_transforms(transforms=1))
+    def test_matcher_always_returns_a_verified_witness(self, case):
+        f, (t,) = case
+        image = f.apply(t)
+        witness = find_npn_transform(f, image)
+        assert witness is not None
+        assert f.apply(witness) == image
 
-    def test_witness_inverse_maps_back(self, n):
-        rng = _rng(n, 8)
-        for _ in range(5):
-            f = TruthTable.random(n, rng)
-            image = f.apply(random_transform(n, rng))
-            witness = find_npn_transform(f, image)
-            assert image.apply(witness.inverse()) == f
+    @given(tables_with_transforms(transforms=1))
+    def test_witness_inverse_maps_back(self, case):
+        f, (t,) = case
+        image = f.apply(t)
+        witness = find_npn_transform(f, image)
+        assert image.apply(witness.inverse()) == f
 
 
-@ARITIES
-def test_as_dict_round_trip(n):
-    rng = _rng(n, 9)
-    for _ in range(ROUNDS):
-        t = random_transform(n, rng)
-        assert NPNTransform.from_dict(t.as_dict()) == t
+@given(npn_transforms())
+def test_as_dict_round_trip(t):
+    assert NPNTransform.from_dict(t.as_dict()) == t
 
 
 def test_from_dict_rejects_invalid_payloads():

@@ -400,3 +400,62 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert "ours_sharded" in out
         assert "ours_sharded_stability" in out
+
+
+class TestLearnAndCompactCli:
+    def test_wal_flags_require_learn(self, capsys):
+        for flags in (
+            ["--wal-segment-bytes", "4096"],
+            ["--wal-fsync", "never"],
+        ):
+            assert main(["serve", "--library", "x", *flags]) == 2
+            assert "requires --learn" in capsys.readouterr().err
+
+    def test_serve_learn_rejects_bad_segment_bytes(self, capsys):
+        assert main(
+            ["serve", "--library", "x", "--learn", "--wal-segment-bytes", "0"]
+        ) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_serve_learn_missing_library_says_how_to_build(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["serve", "--library", str(tmp_path / "absent"), "--learn"]
+        ) == 2
+        assert "library build" in capsys.readouterr().err
+
+    def test_compact_noop_on_fresh_library(self, tmp_path, capsys):
+        lib = tmp_path / "lib"
+        assert main(
+            ["library", "build", "--inputs", "1-2", "--out", str(lib)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["library", "compact", "--library", str(lib)]) == 0
+        assert "no write-ahead segments" in capsys.readouterr().out
+
+    def test_compact_merges_leftover_segments(self, tmp_path, capsys):
+        """A crashed learner's segment is absorbed by the CLI compaction."""
+        import random
+
+        from repro.core.truth_table import TruthTable
+        from repro.library import LearningLibrary, list_segments
+
+        lib = tmp_path / "lib"
+        assert main(
+            ["library", "build", "--inputs", "1-2", "--out", str(lib)]
+        ) == 0
+        learner = LearningLibrary.open(lib)
+        learner.learn(TruthTable.random(5, random.Random(31)))
+        learner.close_segment()  # "crash": segment left behind
+        assert len(list_segments(lib)) == 1
+
+        capsys.readouterr()
+        assert main(["library", "compact", "--library", str(lib)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 WAL records (1 segments)" in out
+        assert list_segments(lib) == []
+
+        capsys.readouterr()
+        assert main(["library", "stats", "--library", str(lib)]) == 0
+        assert "5" in capsys.readouterr().out  # the minted n=5 row persists

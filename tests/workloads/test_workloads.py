@@ -178,3 +178,75 @@ class TestPackedShards:
     def test_rejects_nonpositive_shard_size(self):
         with pytest.raises(ValueError):
             list(packed_shards(random_tables(3, 2, seed=9), shard_size=0))
+
+
+class TestMissHeavyQueries:
+    """Traffic for the learn-on-miss path: verified misses, planted hits."""
+
+    @pytest.fixture(scope="class")
+    def lib3(self):
+        from repro.library import build_exhaustive_library
+
+        return build_exhaustive_library(3)
+
+    def test_misses_verifiably_miss_and_hits_verifiably_hit(self, lib3):
+        from repro.workloads.learning import miss_heavy_queries
+
+        queries = miss_heavy_queries(lib3, 6, 20, seed=21, miss_fraction=0.75)
+        assert len(queries) == 20
+        outcomes = lib3.match_many(queries)
+        assert sum(o is None for o in outcomes) == 20  # no n=6 classes stored
+
+        mixed = miss_heavy_queries(lib3, 3, 12, seed=22, miss_fraction=0.0)
+        for query, outcome in zip(mixed, lib3.match_many(mixed)):
+            assert outcome is not None and outcome.verify(query)
+
+    def test_all_miss_when_library_lacks_the_arity(self, lib3):
+        from repro.workloads.learning import miss_heavy_queries
+
+        queries = miss_heavy_queries(lib3, 5, 10, seed=23, miss_fraction=0.1)
+        assert all(lib3.lookup(tt) is None for tt in queries)
+
+    def test_deterministic(self, lib3):
+        from repro.workloads.learning import miss_heavy_queries
+
+        assert miss_heavy_queries(lib3, 5, 15, seed=24) == miss_heavy_queries(
+            lib3, 5, 15, seed=24
+        )
+
+    def test_exact_mint_count_under_learning(self, lib3, tmp_path):
+        """The advertised contract: miss count == classes a learner mints."""
+        from repro.library import LearningLibrary
+        from repro.workloads.learning import miss_heavy_queries, with_repeats
+
+        lib3.save(tmp_path)
+        learner = LearningLibrary.open(tmp_path)
+        misses = miss_heavy_queries(lib3, 5, 6, seed=25, miss_fraction=1.0)
+        distinct = {learner.learn(tt).class_id for tt in misses}
+        assert learner.minted == len(distinct)
+        for tt in with_repeats(misses, repeats=2, seed=26):
+            hit = learner.library.match(tt)
+            assert hit is not None and hit.verify(tt)
+        assert learner.minted == len(distinct)
+
+    def test_with_repeats_shape(self):
+        from repro.workloads.learning import with_repeats
+
+        queries = random_tables(4, 5, seed=27)
+        doubled = with_repeats(queries, repeats=3, seed=28)
+        assert len(doubled) == 15
+        assert sorted(map(repr, doubled)) == sorted(
+            map(repr, queries * 3)
+        )
+        assert with_repeats(queries, 3, seed=28) == doubled
+
+    def test_rejects_bad_arguments(self):
+        from repro.workloads.learning import miss_heavy_queries, with_repeats
+        from repro.library import ClassLibrary
+
+        with pytest.raises(ValueError):
+            miss_heavy_queries(ClassLibrary(), 4, -1, seed=0)
+        with pytest.raises(ValueError):
+            miss_heavy_queries(ClassLibrary(), 4, 5, seed=0, miss_fraction=1.5)
+        with pytest.raises(ValueError):
+            with_repeats([], repeats=0, seed=0)
