@@ -1,12 +1,22 @@
-"""Bench: sharded multi-process engine — parity first, throughput second.
+"""Bench: sharded multi-process engine — parity first, scaling second.
 
-The acceptance contract of the sharded engine (ISSUE 2): on 10k random
-6-variable functions, :class:`repro.engine.ShardedClassifier` must
-produce buckets *byte-identical* to :class:`BatchedClassifier` for
-workers ∈ {1, 2, 4} — the parity assertion runs on every invocation and
-in CI.  Throughput of workers=1 vs workers=#CPUs is *reported* (written
-to ``results/sharded_engine.md``) but not asserted: shard fan-out only
-pays off when real cores are available, and CI runners may have one.
+The acceptance contract of the sharded engine (ISSUE 2 + ISSUE 7): on
+10k random 6-variable functions, :class:`repro.engine.ShardedClassifier`
+must produce buckets *byte-identical* to :class:`BatchedClassifier` for
+workers ∈ {1, 2, 4} over **both** transports (zero-copy shared memory
+and the legacy pickle path) — the parity assertions run on every
+invocation and in CI.
+
+Scaling is asserted, not just reported, *when the box can express it*:
+with ≥ 4 schedulable cores, the shm transport at workers=4 must beat
+workers=1 wall-clock.  Schedulable means ``len(os.sched_getaffinity(0))``
+— a 16-core machine whose CI container is pinned to one core has
+effective parallelism 1, and ``os.cpu_count()`` would lie about that
+(the original scale-out "regression" reports came from exactly this
+mismatch plus pickle serialization dominating the fan-out).  On narrower
+boxes the contract is recorded as skipped in the results artifact, and
+every row carries its effective parallelism and an ``oversubscribed``
+flag so a reader can tell a real regression from a starved runner.
 
 Also measures the streaming entry point and shard-size insensitivity.
 """
@@ -30,6 +40,22 @@ WORKLOAD_SEED = 42
 #: Worker counts whose buckets must be byte-identical to the batched engine.
 PARITY_WORKERS = (1, 2, 4)
 
+#: Minimum schedulable cores for the workers=4-beats-workers=1 assertion.
+SCALING_MIN_CORES = 4
+
+
+def schedulable_cores() -> int:
+    """Cores this process may actually run on — the honest parallelism cap.
+
+    ``os.cpu_count()`` reports the machine; cgroup/affinity-pinned CI
+    containers can schedule on far fewer.  Falls back to ``cpu_count``
+    on platforms without ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - macOS/Windows fallback
+        return os.cpu_count() or 1
+
 
 @pytest.fixture(scope="module")
 def acceptance_tables():
@@ -41,50 +67,73 @@ def reference_result(acceptance_tables):
     return BatchedClassifier().classify(acceptance_tables)
 
 
-def test_bucket_parity_and_throughput(
+def test_bucket_parity_and_scaling(
     acceptance_tables, reference_result, results_dir, persist_bench
 ):
-    """The acceptance run: parity for workers ∈ {1, 2, 4} + throughput table."""
+    """The acceptance run: dual-transport parity + the gated scaling contract."""
     reference_digest = reference_result.buckets_digest()
-    cpus = os.cpu_count() or 1
+    affinity = schedulable_cores()
     rows = []
-    seconds_by_workers = {}
-    for workers in sorted({*PARITY_WORKERS, cpus}):
-        t0 = time.perf_counter()
-        result = ShardedClassifier(workers=workers).classify(acceptance_tables)
-        seconds = time.perf_counter() - t0
-        assert result.buckets_digest() == reference_digest, (
-            f"workers={workers} diverged from the batched engine"
-        )
-        seconds_by_workers[workers] = seconds
-        rows.append(
-            {
-                "engine": f"sharded workers={workers}",
-                "seconds": round(seconds, 4),
-                "functions_per_s": round(WORKLOAD_COUNT / seconds),
-                "classes": result.num_classes,
-                "buckets": result.buckets_digest()[:12],
-            }
-        )
-    multi = seconds_by_workers[cpus]
-    single = seconds_by_workers[1]
+    seconds = {}  # (transport, workers) -> wall-clock
+    for transport in ("shm", "pickle"):
+        for workers in PARITY_WORKERS:
+            classifier = ShardedClassifier(
+                workers=workers, transport=transport
+            )
+            with classifier.open_pool():  # warm pool: time dispatch, not fork
+                t0 = time.perf_counter()
+                result = classifier.classify(acceptance_tables)
+                elapsed = time.perf_counter() - t0
+            assert result.buckets_digest() == reference_digest, (
+                f"workers={workers} transport={transport} diverged "
+                f"from the batched engine"
+            )
+            seconds[(transport, workers)] = elapsed
+            rows.append(
+                {
+                    "engine": f"sharded workers={workers} [{transport}]",
+                    "seconds": round(elapsed, 4),
+                    "functions_per_s": round(WORKLOAD_COUNT / elapsed),
+                    "effective_parallelism": min(workers, affinity),
+                    "oversubscribed": workers > affinity,
+                    "classes": result.num_classes,
+                    "buckets": result.buckets_digest()[:12],
+                }
+            )
     rows.append(
         {
             "engine": "batched (single-process reference)",
             "seconds": None,
             "functions_per_s": None,
+            "effective_parallelism": 1,
+            "oversubscribed": False,
             "classes": reference_result.num_classes,
             "buckets": reference_digest[:12],
         }
     )
+
+    # The scale-out contract: only meaningful when the box can actually
+    # run 4 workers at once.  A pinned 1-core container exercising it
+    # would "fail" on scheduler round-robin, not on engine behavior.
+    single = seconds[("shm", 1)]
+    multi = seconds[("shm", 4)]
+    scaling_asserted = affinity >= SCALING_MIN_CORES
+    if scaling_asserted:
+        assert multi < single, (
+            f"scale-out regression: workers=4 ({multi:.2f}s) did not beat "
+            f"workers=1 ({single:.2f}s) over shm with {affinity} "
+            f"schedulable cores"
+        )
+
     write_markdown_table(
         rows,
         results_dir / "sharded_engine.md",
         title=(
-            f"Sharded engine parity + throughput "
+            f"Sharded engine parity + scaling "
             f"({WORKLOAD_COUNT} random {WORKLOAD_N}-var functions, "
-            f"{cpus} CPUs: workers=1 {single:.2f}s vs "
-            f"workers={cpus} {multi:.2f}s)"
+            f"{affinity} schedulable cores; shm workers=1 {single:.2f}s "
+            f"vs workers=4 {multi:.2f}s; scaling contract "
+            f"{'asserted' if scaling_asserted else 'skipped: too few cores'})"
         ),
     )
     persist_bench(
@@ -95,11 +144,17 @@ def test_bucket_parity_and_throughput(
                 "count": WORKLOAD_COUNT,
                 "seed": WORKLOAD_SEED,
             },
-            "cpus": cpus,
+            "cpus": os.cpu_count(),
+            "schedulable_cores": affinity,
             "parity_workers": list(PARITY_WORKERS),
-            "seconds_by_workers": {
-                str(workers): round(seconds, 4)
-                for workers, seconds in seconds_by_workers.items()
+            "scaling_contract": {
+                "min_cores": SCALING_MIN_CORES,
+                "asserted": scaling_asserted,
+                "holds": multi < single if scaling_asserted else None,
+            },
+            "seconds_by_transport_workers": {
+                f"{transport}-w{workers}": round(elapsed, 4)
+                for (transport, workers), elapsed in seconds.items()
             },
             "rows": rows,
         },
@@ -140,6 +195,15 @@ def test_manual_shard_merge_matches_one_shot(reference_result):
     partials = [classifier.classify(shard) for shard in packed_shards(stream, 1024)]
     merged = reduce(lambda left, right: left.merged_with(right), partials)
     assert merged.buckets_digest() == reference_result.buckets_digest()
+
+
+def test_no_leaked_shm_segments(acceptance_tables):
+    """After sharded runs, this process owns zero live /dev/shm arenas."""
+    from repro.engine.shm import live_arena_names
+
+    classifier = ShardedClassifier(workers=2, transport="shm")
+    classifier.classify(acceptance_tables[:500])
+    assert live_arena_names() == []
 
 
 def test_sharded_classify_benchmark(benchmark, acceptance_tables):

@@ -60,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --engine sharded (default: all CPUs)",
     )
+    _add_transport_flags(classify)
     classify.add_argument(
         "--show-classes", action="store_true", help="print class members"
     )
@@ -118,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     lib_build.add_argument(
         "--workers", type=int, default=None, help="workers for --engine sharded"
     )
+    _add_transport_flags(lib_build)
     lib_stats = lib_sub.add_parser("stats", help="summarise a saved library")
     lib_stats.add_argument(
         "--library", default="npn_library", help="library directory"
@@ -279,6 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_transport_flags(cmd) -> None:
+    """``--shm``/``--no-shm``: the sharded engine's transport escape hatch."""
+    group = cmd.add_mutually_exclusive_group()
+    group.add_argument(
+        "--shm",
+        dest="transport",
+        action="store_const",
+        const="shm",
+        default=None,
+        help="force the zero-copy shared-memory shard transport "
+        "(--engine sharded only; the default where available)",
+    )
+    group.add_argument(
+        "--no-shm",
+        dest="transport",
+        action="store_const",
+        const="pickle",
+        help="pickle shard buffers through pipes instead of shared "
+        "memory (--engine sharded only; for hosts without /dev/shm "
+        "or with restrictive shm limits)",
+    )
+
+
 def parse_tables(lines, n_hint: int | None = None) -> list[TruthTable]:
     """Parse one truth table per line (binary, or hex needing ``n``)."""
     tables = []
@@ -412,6 +437,9 @@ def _cmd_classify(args) -> int:
     if args.workers is not None and args.engine != "sharded":
         print("--workers requires --engine sharded", file=sys.stderr)
         return 2
+    if args.transport is not None and args.engine != "sharded":
+        print("--shm/--no-shm requires --engine sharded", file=sys.stderr)
+        return 2
     if _bad_worker_count(args.workers):
         return 2
     if args.file == "-":
@@ -426,10 +454,12 @@ def _cmd_classify(args) -> int:
     if args.method == "ours" and args.engine != "perfn":
         from repro.engine import make_classifier
 
-        classifier = make_classifier(args.engine, workers=args.workers)
+        classifier = make_classifier(
+            args.engine, workers=args.workers, transport=args.transport
+        )
         label = f"ours, {args.engine} engine"
         if args.engine == "sharded":
-            label += f", {classifier.workers} workers"
+            label += f", {classifier.workers} workers, {classifier.transport}"
     else:
         classifier = get_classifier(args.method)
         label = args.method
@@ -537,12 +567,12 @@ def _parse_sizes(spec: str) -> list[int]:
     return sizes
 
 
-def _load_library_or_fail(path: str):
+def _load_library_or_fail(path: str, mmap_mode: str | None = None):
     """Load a library or print the error plus the recovery command."""
     from repro.library import ClassLibrary, LibraryFormatError
 
     try:
-        return ClassLibrary.load(path)
+        return ClassLibrary.load(path, mmap_mode=mmap_mode)
     except LibraryFormatError as exc:
         print(
             f"cannot load library: {exc}\n"
@@ -594,6 +624,9 @@ def _cmd_library_build(args) -> int:
     if args.workers is not None and args.engine != "sharded":
         print("--workers requires --engine sharded", file=sys.stderr)
         return 2
+    if args.transport is not None and args.engine != "sharded":
+        print("--shm/--no-shm requires --engine sharded", file=sys.stderr)
+        return 2
     if _bad_worker_count(args.workers):
         return 2
     try:
@@ -611,7 +644,12 @@ def _cmd_library_build(args) -> int:
     corpus = chain.from_iterable(
         corpus_for_arity(n, args.samples, args.seed) for n in arities
     )
-    library = build_library(corpus, engine=args.engine, workers=args.workers)
+    library = build_library(
+        corpus,
+        engine=args.engine,
+        workers=args.workers,
+        transport=args.transport,
+    )
     path = library.save(args.out)
     print(
         format_table(
@@ -631,7 +669,10 @@ def _cmd_library_compact(args) -> int:
     except LibraryFormatError as exc:
         print(f"cannot open library: {exc}", file=sys.stderr)
         return 2
-    result = learner.compact()
+    try:
+        result = learner.compact()
+    finally:
+        learner.close()
     if result.path is None:
         print(f"{args.library}: no write-ahead segments to compact")
         return 0
@@ -672,7 +713,9 @@ def _cmd_serve(args) -> int:
             if value is not None:
                 print(f"{flag} requires --learn", file=sys.stderr)
                 return 2
-        library = _load_library_or_fail(args.library)
+        # Read-only serving maps the npz image instead of copying it:
+        # N replica daemons on one box share one page-cache image.
+        library = _load_library_or_fail(args.library, mmap_mode="r")
         learner = None
     else:
         segment_bytes = (

@@ -1,0 +1,318 @@
+"""Zero-copy shared-memory transport for the sharded engine.
+
+The original sharded dispatch pickled every shard's packed buffer into a
+pipe on the way out and every worker's ``(index, key)`` list on the way
+back — transport cost that grew with worker count and erased the
+parallel speedup (the scale-out regression recorded in
+``BENCH_sharded_engine.json``).  This module replaces both copies with
+one ``multiprocessing.shared_memory`` **arena** per pool scope:
+
+* the parent writes the whole miss batch into the arena's *input region*
+  once; shard tasks carry only ``(shm name, base row, row count, …)``
+  descriptors — a few dozen bytes each, whatever the shard size;
+* workers attach to the arena by name (attachment cached per process),
+  read their rows in place, and write each canonical key — flattened to
+  a fixed-width ``int64`` row by :func:`key_codec` — into the arena's
+  *result region*, returning only a ``(base, count)`` completion span;
+* the parent checks the spans tile the batch, bulk-converts the result
+  region, and rebuilds the key tuples.
+
+Arena layout (all offsets 8-byte aligned)::
+
+    ┌──────────────────────────────┬──────────────────────────────────┐
+    │ input region                 │ result region                    │
+    │ [rows, words] '<u8'          │ [rows, key_width] '<i8'          │
+    │ packed truth tables          │ flattened canonical keys         │
+    └──────────────────────────────┴──────────────────────────────────┘
+    offset 0                        offset rows * words * 8
+
+**Ownership and cleanup.**  The parent that creates an arena owns it and
+is the only process that unlinks it.  Every live arena is tracked in a
+module registry keyed by owner pid; disposal runs from (in order of
+preference) the pool scope's ``finally``, the process's ``atexit`` hook,
+or a lazily installed SIGTERM chain handler — so a normal exit, a worker
+crash (the scope unwinds through the pool error) and a terminated parent
+all leave ``/dev/shm`` clean, with no ``resource_tracker`` warnings.
+Workers never unlink: an attachment to an already-unlinked segment stays
+valid until closed, so the unlink/attach order cannot race.
+
+The key flattening is possible because, for a fixed ``(n, parts)``
+selection, every canonical MSV key has the *same* nested tuple shape —
+only the integer leaves vary (all signature parts are fixed-size
+per-arity vectors).  :func:`key_codec` derives that shape once from a
+template function and round-trips keys through flat ``int64`` rows
+byte-exactly; a shape mismatch raises instead of corrupting buckets.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+from collections import OrderedDict
+from functools import lru_cache
+from itertools import count
+
+try:  # pragma: no cover - import guard for exotic builds only
+    from multiprocessing import shared_memory as _shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+    SHM_AVAILABLE = False
+
+from repro.core.msv import canonical_key, compute_pieces, normalize_parts
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "ARENA_PREFIX",
+    "KeyCodec",
+    "key_codec",
+    "ShmArena",
+    "attach_segment",
+    "live_arena_names",
+]
+
+#: Every arena this engine creates is named ``repro-shm-<pid>-<seq>`` —
+#: greppable in ``/dev/shm`` so tests and CI can assert zero leaks.
+ARENA_PREFIX = "repro-shm-"
+
+_ARENA_SEQ = count()
+
+#: Live arenas owned by *this* process: name -> (SharedMemory, owner pid).
+#: The pid guards forked children (pool workers inherit a copy of this
+#: dict but must never unlink the parent's segments).
+_LIVE: dict[str, tuple] = {}
+_CLEANUP_INSTALLED = False
+
+#: Worker-side attachment cache: arenas are recycled across shards and
+#: chunks, so one attach per (process, arena) suffices.  Bounded LRU —
+#: a parent that reallocates a grown arena leaves at most a few stale
+#: (closed-on-evict) attachments behind.
+_ATTACHMENTS: "OrderedDict[str, object]" = OrderedDict()
+_ATTACH_CACHE_SIZE = 4
+
+
+# ----------------------------------------------------------------------
+# Key codec: canonical key tuple <-> fixed-width int64 row
+# ----------------------------------------------------------------------
+
+
+class KeyCodec:
+    """Flattens/rebuilds canonical keys of one ``(n, parts)`` space.
+
+    ``width`` is the number of ``int64`` slots one key occupies;
+    ``structure`` is the nested-tuple template (``None`` marks an integer
+    leaf) every key of this space must match.
+    """
+
+    __slots__ = ("n", "parts", "structure", "width")
+
+    def __init__(self, n: int, parts: tuple[str, ...]) -> None:
+        self.n = n
+        self.parts = parts
+        template = canonical_key(
+            compute_pieces(TruthTable(n, 0), parts), parts
+        )
+        self.structure = _structure_of(template)
+        self.width = _leaf_count(self.structure)
+
+    def flatten(self, key: tuple) -> list[int]:
+        """``key`` as a flat leaf list; raises on any shape mismatch."""
+        out: list[int] = []
+        _flatten_into(key, self.structure, out)
+        return out
+
+    def unflatten(self, values) -> tuple:
+        """Rebuild the key tuple from one flat row (list of ints)."""
+        built, consumed = _build(self.structure, values, 0)
+        if consumed != len(values):
+            raise ValueError(
+                f"key row holds {len(values)} leaves, structure consumes "
+                f"{consumed}"
+            )
+        return built
+
+
+@lru_cache(maxsize=None)
+def key_codec(n: int, parts: tuple[str, ...]) -> KeyCodec:
+    """The (cached) codec of one signature space.
+
+    Pure function of ``(n, parts)``: parent and workers derive identical
+    codecs independently, so no layout metadata crosses the process
+    boundary beyond the descriptor's ``key_width`` sanity field.
+    """
+    return KeyCodec(n, normalize_parts(parts))
+
+
+def _structure_of(value):
+    if isinstance(value, tuple):
+        return tuple(_structure_of(item) for item in value)
+    if isinstance(value, int):
+        return None
+    raise TypeError(f"canonical keys hold ints and tuples, got {type(value)}")
+
+
+def _leaf_count(structure) -> int:
+    if structure is None:
+        return 1
+    return sum(_leaf_count(item) for item in structure)
+
+
+def _flatten_into(value, structure, out: list) -> None:
+    if structure is None:
+        if not isinstance(value, int):
+            raise ValueError(f"expected an int leaf, got {type(value)}")
+        out.append(value)
+        return
+    if not isinstance(value, tuple) or len(value) != len(structure):
+        raise ValueError(
+            f"key shape mismatch: expected a {len(structure)}-tuple, "
+            f"got {value!r}"
+        )
+    for item, sub in zip(value, structure):
+        _flatten_into(item, sub, out)
+
+
+def _build(structure, values, pos: int):
+    if structure is None:
+        return values[pos], pos + 1
+    items = []
+    for sub in structure:
+        item, pos = _build(sub, values, pos)
+        items.append(item)
+    return tuple(items), pos
+
+
+# ----------------------------------------------------------------------
+# Arena lifecycle (parent side)
+# ----------------------------------------------------------------------
+
+
+class ShmArena:
+    """One shared-memory block owned by the creating process.
+
+    Create with :meth:`create`; always :meth:`dispose` from the owner —
+    the pool scope's ``finally`` in normal operation, the module's
+    atexit/SIGTERM hooks as the safety net.
+    """
+
+    __slots__ = ("shm", "name", "capacity")
+
+    def __init__(self, shm) -> None:
+        self.shm = shm
+        self.name = shm.name
+        self.capacity = shm.size
+
+    @classmethod
+    def create(cls, nbytes: int) -> "ShmArena":
+        if not SHM_AVAILABLE:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        if nbytes < 1:
+            raise ValueError(f"arena size must be positive, got {nbytes}")
+        while True:
+            name = f"{ARENA_PREFIX}{os.getpid()}-{next(_ARENA_SEQ)}"
+            try:
+                shm = _shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+            except FileExistsError:  # stale segment from a recycled pid
+                continue
+            break
+        _LIVE[shm.name] = (shm, os.getpid())
+        _install_cleanup_hooks()
+        return cls(shm)
+
+    def dispose(self) -> None:
+        """Unlink and close; idempotent, never raises on double-dispose."""
+        entry = _LIVE.pop(self.name, None)
+        if entry is None:
+            return
+        _dispose_segment(entry[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShmArena({self.name!r}, {self.capacity} bytes)"
+
+
+def live_arena_names() -> list[str]:
+    """Arenas currently owned by this process (for tests/leak checks)."""
+    pid = os.getpid()
+    return sorted(name for name, (_, owner) in _LIVE.items() if owner == pid)
+
+
+def _dispose_segment(shm) -> None:
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already gone (e.g. external cleanup)
+        pass
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a live view pins the map;
+        pass  # the segment is unlinked either way, so nothing leaks
+
+
+def _cleanup_owned_arenas() -> None:
+    """Unlink every arena this process owns (atexit / SIGTERM hook)."""
+    pid = os.getpid()
+    for name in list(_LIVE):
+        entry = _LIVE.get(name)
+        if entry is None or entry[1] != pid:
+            continue
+        _LIVE.pop(name, None)
+        _dispose_segment(entry[0])
+
+
+def _sigterm_chain(signum, frame):  # pragma: no cover - exercised via
+    # a real subprocess in tests/engine/test_shm_transport.py
+    _cleanup_owned_arenas()
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_cleanup_hooks() -> None:
+    """Arm atexit + SIGTERM cleanup, once, on first arena creation.
+
+    The SIGTERM hook chains to the *default* action and is only
+    installed when no other handler is present — a host application with
+    its own SIGTERM handling (the serve daemon's asyncio drain, say) is
+    expected to exit normally, where the atexit hook takes over.
+    """
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_cleanup_owned_arenas)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_chain)
+    except (ValueError, OSError):  # pragma: no cover - non-main contexts
+        pass
+
+
+# ----------------------------------------------------------------------
+# Attachment (worker side)
+# ----------------------------------------------------------------------
+
+
+def attach_segment(name: str):
+    """Attach to an arena by name, with a per-process LRU cache.
+
+    Used by pool workers (and by the parent when a single-shard batch
+    runs inline).  Attachments outlive the segment's unlink safely;
+    evicted entries are closed.
+    """
+    shm = _ATTACHMENTS.pop(name, None)
+    if shm is None:
+        shm = _shared_memory.SharedMemory(name=name)
+        while len(_ATTACHMENTS) >= _ATTACH_CACHE_SIZE:
+            _, stale = _ATTACHMENTS.popitem(last=False)
+            try:
+                stale.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+    _ATTACHMENTS[name] = shm
+    return shm

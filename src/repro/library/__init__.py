@@ -30,10 +30,14 @@ from repro.library.store import (
     LibraryFormatError,
     LibraryMatch,
     NPNClassEntry,
+    class_id_matches,
+    overflow_successor,
 )
 from repro.library.wal import (
     FSYNC_POLICIES,
+    LOCK_FILE,
     WAL_DIR,
+    LibraryLockedError,
     SegmentReplay,
     SegmentWriter,
     WalError,
@@ -51,6 +55,9 @@ __all__ = [
     "SegmentWriter",
     "SegmentReplay",
     "WalError",
+    "LibraryLockedError",
+    "class_id_matches",
+    "overflow_successor",
     "list_segments",
     "replay_segment",
     "build_library",
@@ -65,4 +72,5 @@ __all__ = [
     "MANIFEST_FILE",
     "TABLES_FILE",
     "WAL_DIR",
+    "LOCK_FILE",
 ]

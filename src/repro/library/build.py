@@ -98,11 +98,14 @@ def build_library(
     parts=DEFAULT_PARTS,
     engine: str = "batched",
     workers: int | None = None,
+    transport: str | None = None,
 ) -> ClassLibrary:
     """Classify ``tables`` with the chosen engine and build a library."""
     from repro.engine import make_classifier
 
-    classifier = make_classifier(engine, parts=parts, workers=workers)
+    classifier = make_classifier(
+        engine, parts=parts, workers=workers, transport=transport
+    )
     return library_from_result(classifier.classify(list(tables)))
 
 

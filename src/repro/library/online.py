@@ -10,11 +10,14 @@ rewriting the manifest+npz image per miss.
 
 Lifecycle::
 
-    open()     load manifest+npz (if present), replay WAL segments —
-               tolerating a torn final record — into memory
-    learn()    miss -> elect representative -> add_class -> WAL append
+    open()     claim the learner lock (wal/LOCK), load manifest+npz (if
+               present), replay WAL segments — tolerating a torn final
+               record — into memory
+    learn()    miss -> probe overflow chain -> elect representative ->
+               add_class -> WAL append
     compact()  rewrite manifest+npz from the in-memory state, delete
-               the segments it absorbed
+               the segments it absorbed (lock stays held)
+    close()    seal the active segment and release the learner lock
 
 Compaction runs in three situations: the serving drain hook
 (:meth:`repro.service.coalescer.Coalescer.stop`), the explicit
@@ -47,11 +50,14 @@ from repro.library.store import (
     ClassLibrary,
     LibraryMatch,
     MANIFEST_FILE,
+    overflow_successor,
 )
 from repro.library.wal import (
     SegmentWriter,
     WalError,
+    acquire_learner_lock,
     list_segments,
+    release_learner_lock,
     replay_segment,
     segment_path,
 )
@@ -113,9 +119,12 @@ class LearningLibrary:
         self.fsync = fsync
         #: Classes minted by :meth:`learn` over this instance's lifetime.
         self.minted = 0
-        #: Misses whose signature digest collided with a stored,
-        #: NPN-inequivalent class — reported as misses, never minted.
+        #: Misses whose signature digest collided with one or more
+        #: stored, NPN-inequivalent classes; each is minted into an
+        #: overflow slot (counted in :attr:`overflow_minted` too).
         self.collisions = 0
+        #: Subset of :attr:`minted` that landed in overflow slots.
+        self.overflow_minted = 0
         #: WAL records not yet absorbed by a compaction (replayed + new).
         self.pending_records = 0
         #: Compactions performed (drain, explicit, or threshold-tripped).
@@ -142,17 +151,29 @@ class LearningLibrary:
         the grow-from-nothing case.  Without it, a missing image raises
         like :meth:`ClassLibrary.load`.  Torn final records are
         truncated away by the replay, never re-served.
+
+        Opening claims the directory's learner lock (``wal/LOCK``): a
+        second live process opening the same library raises
+        :class:`~repro.library.wal.LibraryLockedError` instead of racing
+        the first on segment creation mid-request.  The lock is released
+        by :meth:`close` (or taken over after a crash — see
+        :func:`~repro.library.wal.acquire_learner_lock`).
         """
         directory = Path(directory)
-        if (directory / MANIFEST_FILE).exists() or not create:
-            library = ClassLibrary.load(directory)
-        else:
-            library = ClassLibrary(parts)
-            library.kernel_cache_dir = directory / "kernels"
-        learner = cls(
-            library, directory, segment_bytes=segment_bytes, fsync=fsync
-        )
-        learner._replay()
+        acquire_learner_lock(directory)
+        try:
+            if (directory / MANIFEST_FILE).exists() or not create:
+                library = ClassLibrary.load(directory)
+            else:
+                library = ClassLibrary(parts)
+                library.kernel_cache_dir = directory / "kernels"
+            learner = cls(
+                library, directory, segment_bytes=segment_bytes, fsync=fsync
+            )
+            learner._replay()
+        except BaseException:
+            release_learner_lock(directory)
+            raise
         return learner
 
     def _replay(self) -> None:
@@ -177,16 +198,22 @@ class LearningLibrary:
             raise WalError(f"{path}: bad record {record!r}: {exc}") from exc
         if size < 1:
             raise WalError(f"{path}: record size must be >= 1, got {size}")
-        entry = self.library.add_class(
-            representative, size=size, exact=bool(record["exact"])
-        )
-        if entry.class_id != record["class_id"]:
+        try:
+            # The record's explicit id is honoured (overflow slots must
+            # replay into their slot); add_class validates it against
+            # the representative's derived id.
+            self.library.add_class(
+                representative,
+                size=size,
+                exact=bool(record["exact"]),
+                class_id=str(record["class_id"]),
+            )
+        except ValueError as exc:
             raise WalError(
                 f"{path}: record class id {record['class_id']!r} fails its "
-                f"signature check (recomputed {entry.class_id!r}) — the "
-                f"segment is corrupted or was produced by an incompatible "
-                f"signature implementation"
-            )
+                f"signature check ({exc}) — the segment is corrupted or was "
+                f"produced by an incompatible signature implementation"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Learning
@@ -200,29 +227,35 @@ class LearningLibrary:
         Call this only after :meth:`ClassLibrary.match` returned ``None``.
         Three outcomes:
 
-        * the signature digest is new — the class is minted, WAL-logged,
-          and a verified match against it is returned;
-        * the digest is stored and the matcher proves the query
+        * the signature digest is new — the class is minted into its
+          base id, WAL-logged, and a verified match is returned;
+        * some slot of the digest's overflow chain proves the query
           equivalent after all (a duplicate miss inside one coalescer
           batch, racing the mint) — the existing match is returned, no
           record written;
-        * the digest is stored but the query is NPN-inequivalent to the
-          representative (a genuine signature collision) — ``None``; the
-          id scheme cannot hold two orbits, so the miss stands and
-          :attr:`collisions` counts it.
+        * every stored slot is NPN-inequivalent to the query (a genuine
+          signature collision) — the query is minted into the first free
+          *overflow slot* (``n{n}-{digest}-1``, ``-2``, …), so repeated
+          traffic on a colliding orbit converges to a verified hit
+          instead of recounting misses forever.  :attr:`collisions` and
+          :attr:`overflow_minted` count it.
         """
         if signature is None:
             signature = compute_msv(tt, self.library.parts)
-        class_id = self.library.class_id_of(signature)
-        existing = self.library.classes.get(class_id)
-        if existing is not None:
+        slot = self.library.class_id_of(signature)
+        while True:
+            existing = self.library.classes.get(slot)
+            if existing is None:
+                break
             witness = find_npn_transform(existing.representative, tt)
-            if witness is None:
-                self.collisions += 1
-                return None
-            return LibraryMatch(existing, witness)
+            if witness is not None:
+                return LibraryMatch(existing, witness)
+            slot = overflow_successor(slot)
+        overflow = slot != self.library.class_id_of(signature)
         representative, exact = elect_representative([tt])
-        entry = self.library.add_class(representative, size=1, exact=exact)
+        entry = self.library.add_class(
+            representative, size=1, exact=exact, class_id=slot
+        )
         witness = find_npn_transform(representative, tt)
         if witness is None:  # pragma: no cover - election produced non-member
             raise WalError(
@@ -239,6 +272,9 @@ class LearningLibrary:
             }
         )
         self.minted += 1
+        if overflow:
+            self.collisions += 1
+            self.overflow_minted += 1
         return LibraryMatch(entry, witness)
 
     def _append(self, record: dict) -> None:
@@ -295,6 +331,24 @@ class LearningLibrary:
             self._writer.close()
             self._writer = None
 
+    def close(self) -> None:
+        """Seal the active segment and release the learner lock.
+
+        Compaction deliberately does *not* release the lock — threshold
+        -tripped compactions happen mid-serve, and dropping the lock
+        there would let a second daemon claim a library this one is
+        still minting into.  Call ``close`` when this learner is done
+        with the directory; idempotent.
+        """
+        self.close_segment()
+        release_learner_lock(self.directory)
+
+    def __enter__(self) -> "LearningLibrary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -309,6 +363,7 @@ class LearningLibrary:
         return {
             "classes_minted": self.minted,
             "signature_collisions": self.collisions,
+            "overflow_minted": self.overflow_minted,
             "wal_pending_records": self.pending_records,
             "wal_segments": len(self.segments),
             "compactions": self.compactions,

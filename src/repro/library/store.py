@@ -50,6 +50,8 @@ __all__ = [
     "NPNClassEntry",
     "LibraryMatch",
     "LibraryFormatError",
+    "class_id_matches",
+    "overflow_successor",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "MANIFEST_FILE",
@@ -64,6 +66,42 @@ TABLES_FILE = "classes.npz"
 
 class LibraryFormatError(ValueError):
     """A library artifact is missing, corrupted, or of the wrong format."""
+
+
+def overflow_successor(class_id: str) -> str:
+    """The next overflow slot after ``class_id``.
+
+    Signature digests are sound but not injective: two NPN-inequivalent
+    orbits can share an MSV digest.  The second orbit cannot live under
+    the base id ``n{n}-{digest}``, so it is minted into the first free
+    *overflow slot* ``n{n}-{digest}-1``, ``-2``, … — and matching probes
+    the slots in this same order, so the chain is always contiguous.
+
+    >>> overflow_successor("n6-0123456789abcdef")
+    'n6-0123456789abcdef-1'
+    >>> overflow_successor("n6-0123456789abcdef-1")
+    'n6-0123456789abcdef-2'
+    """
+    head, _, tail = class_id.rpartition("-")
+    if "-" in head and tail.isdigit():
+        return f"{head}-{int(tail) + 1}"
+    return f"{class_id}-1"
+
+
+def class_id_matches(stored: str, derived: str) -> bool:
+    """Is ``stored`` the base id ``derived`` or an overflow slot of it?
+
+    The integrity checks in :meth:`ClassLibrary.load` and the WAL replay
+    recompute ``derived`` from each entry's representative; a stored id
+    passes when it is exactly that, or that plus a ``-{k}`` overflow
+    suffix (``k`` a positive integer with no leading zeros).
+    """
+    if stored == derived:
+        return True
+    if not stored.startswith(derived + "-"):
+        return False
+    suffix = stored[len(derived) + 1 :]
+    return suffix.isdigit() and suffix[0] != "0"
 
 
 @dataclass(frozen=True)
@@ -220,16 +258,29 @@ class ClassLibrary:
         return f"n{signature.n}-{signature.digest()}"
 
     def add_class(
-        self, representative: TruthTable, size: int, exact: bool
+        self,
+        representative: TruthTable,
+        size: int,
+        exact: bool,
+        class_id: str | None = None,
     ) -> NPNClassEntry:
         """Insert (or grow) the class of ``representative``.
 
         The class identity is derived from the representative's own MSV —
         legal because the MSV is an NPN invariant, so any member yields
         the same id.  An existing entry absorbs the new size and keeps
-        the smaller representative.
+        the smaller representative.  An explicit ``class_id`` places the
+        entry in an overflow slot of its derived id (the online learner
+        minting a digest-colliding orbit); anything else raises.
         """
-        class_id = self.class_id_of(compute_msv(representative, self.parts))
+        derived = self.class_id_of(compute_msv(representative, self.parts))
+        if class_id is None:
+            class_id = derived
+        elif not class_id_matches(class_id, derived):
+            raise ValueError(
+                f"class id {class_id!r} is neither {derived!r} nor an "
+                f"overflow slot of it"
+            )
         entry = NPNClassEntry.from_representative(
             class_id, representative, size, exact
         )
@@ -313,26 +364,40 @@ class ClassLibrary:
         if signatures is None:
             signatures = self._signature_engine().signatures(tts)
         out: list[LibraryMatch | None] = [None] * len(tts)
-        groups: dict[str, list[int]] = {}
+        # Probe the overflow chain slot by slot: every query starts at
+        # its signature's base id; a query whose candidate proves
+        # NPN-inequivalent advances to the next overflow slot (if one
+        # exists) for another round.  Libraries without collisions — the
+        # overwhelmingly common case — finish in a single round with one
+        # grouped matcher call, exactly the pre-overflow behaviour.
+        active: dict[int, str] = {}
         for index, signature in enumerate(signatures):
-            entry = self.classes.get(self.class_id_of(signature))
-            if entry is not None:
-                groups.setdefault(entry.class_id, []).append(index)
-        group_entries = [self.classes[class_id] for class_id in groups]
-        witness_rows = find_npn_transforms_grouped(
-            [
-                (entry.representative, [tts[i] for i in indices])
-                for entry, indices in zip(group_entries, groups.values())
-            ],
-            cache_dir=self.kernel_cache_dir,
-        )
-        for entry, indices, witnesses in zip(
-            group_entries, groups.values(), witness_rows
-        ):
-            for i, witness in zip(indices, witnesses):
-                out[i] = (
-                    None if witness is None else LibraryMatch(entry, witness)
-                )
+            base = self.class_id_of(signature)
+            if base in self.classes:
+                active[index] = base
+        while active:
+            groups: dict[str, list[int]] = {}
+            for index, class_id in active.items():
+                groups.setdefault(class_id, []).append(index)
+            group_entries = [self.classes[class_id] for class_id in groups]
+            witness_rows = find_npn_transforms_grouped(
+                [
+                    (entry.representative, [tts[i] for i in indices])
+                    for entry, indices in zip(group_entries, groups.values())
+                ],
+                cache_dir=self.kernel_cache_dir,
+            )
+            active = {}
+            for entry, indices, witnesses in zip(
+                group_entries, groups.values(), witness_rows
+            ):
+                successor = overflow_successor(entry.class_id)
+                probe_on = successor in self.classes
+                for i, witness in zip(indices, witnesses):
+                    if witness is not None:
+                        out[i] = LibraryMatch(entry, witness)
+                    elif probe_on:
+                        active[i] = successor
         return out
 
     def _signature_engine(self):
@@ -407,17 +472,37 @@ class ClassLibrary:
         return directory
 
     @classmethod
-    def load(cls, path: str | Path, verify: bool = True) -> "ClassLibrary":
+    def load(
+        cls,
+        path: str | Path,
+        verify: bool = True,
+        mmap_mode: str | None = None,
+    ) -> "ClassLibrary":
         """Read a saved library, validating format, version and integrity.
 
         With ``verify`` (the default) every class id is recomputed from
         its representative's signature and cross-checked against both
         files, so a corrupted or hand-edited artifact raises
         :class:`LibraryFormatError` instead of mis-matching queries.
+        Overflow ids (``n{n}-{digest}-{k}``, minted on signature-digest
+        collisions) pass the check when their base id matches.
+
+        ``mmap_mode="r"`` (or ``"c"``) memory-maps the ``classes.npz``
+        table arrays instead of reading them into anonymous memory —
+        the members are STORED (uncompressed) in a deterministic layout,
+        so every array is a page-aligned :class:`numpy.memmap` straight
+        into the artifact.  N serving replicas on one box then share one
+        page-cache copy of the library image instead of N heap copies,
+        and pages load on demand.  Falls back to an eager read for
+        archives whose members turn out compressed or foreign.
         """
+        if mmap_mode not in (None, "r", "c"):
+            raise ValueError(
+                f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r}"
+            )
         directory = Path(path)
         manifest = _read_manifest(directory / MANIFEST_FILE)
-        arrays = _read_tables(directory / TABLES_FILE)
+        arrays = _read_tables(directory / TABLES_FILE, mmap_mode)
         records = manifest["classes"]
         if not (
             len(records)
@@ -450,7 +535,7 @@ class ClassLibrary:
             _check_record(directory, record, entry)
             if verify:
                 derived = library.class_id_of(compute_msv(rep, library.parts))
-                if derived != entry.class_id:
+                if not class_id_matches(entry.class_id, derived):
                     raise LibraryFormatError(
                         f"{directory}: class {entry.class_id!r} fails its "
                         f"signature check (recomputed {derived!r}) — the "
@@ -496,14 +581,71 @@ def _read_manifest(path: Path) -> dict:
     return manifest
 
 
-def _read_tables(path: Path) -> dict[str, np.ndarray]:
+def _read_tables(
+    path: Path, mmap_mode: str | None = None
+) -> dict[str, np.ndarray]:
     if not path.exists():
         raise LibraryFormatError(f"{path}: library table file not found")
+    if mmap_mode is not None:
+        arrays = _mmap_tables(path, mmap_mode)
+        if arrays is not None:
+            return arrays
+        # Structural surprise (compressed member, foreign npy version):
+        # the eager path below still reads it — or raises the proper
+        # LibraryFormatError if the archive is actually corrupt.
     try:
         with np.load(path) as data:
             arrays = {name: data[name] for name in ("ns", "sizes", "exact", "reps")}
     except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
         raise LibraryFormatError(f"{path}: cannot read table arrays: {exc}") from exc
+    return arrays
+
+
+def _mmap_tables(path: Path, mmap_mode: str) -> dict[str, np.ndarray] | None:
+    """Memory-map every table array of a STORED ``.npz``, or ``None``.
+
+    ``np.load(..., mmap_mode=...)`` refuses zip archives, but this
+    archive is written by :func:`_write_npz_deterministic` with STORED
+    (uncompressed) members, so each member's npy payload sits at a fixed
+    file offset: local zip header (30 bytes + name + extra), then the
+    npy magic/header, then raw array bytes ``np.memmap`` can map
+    directly.  Returns ``None`` — never raises — on any layout this
+    parser does not recognise, letting the caller fall back to
+    ``np.load``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as handle:
+            for name in ("ns", "sizes", "exact", "reps"):
+                info = archive.getinfo(f"{name}.npy")
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    header = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    header = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    return None
+                shape, fortran_order, dtype = header
+                if fortran_order or dtype.hasobject:
+                    return None
+                arrays[name] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode=mmap_mode,
+                    offset=handle.tell(),
+                    shape=shape,
+                )
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
     return arrays
 
 

@@ -38,9 +38,11 @@ from repro.library.store import LibraryFormatError
 __all__ = [
     "WAL_MAGIC",
     "WAL_DIR",
+    "LOCK_FILE",
     "FSYNC_POLICIES",
     "MAX_RECORD_BYTES",
     "WalError",
+    "LibraryLockedError",
     "SegmentWriter",
     "SegmentReplay",
     "encode_record",
@@ -48,6 +50,9 @@ __all__ = [
     "replay_segment",
     "list_segments",
     "segment_path",
+    "lock_path",
+    "acquire_learner_lock",
+    "release_learner_lock",
 ]
 
 #: First bytes of every segment file: format name + format version.
@@ -55,6 +60,9 @@ WAL_MAGIC = b"repro-npn-wal/1\n"
 
 #: Subdirectory of a library holding its write-ahead segments.
 WAL_DIR = "wal"
+
+#: Lock file (under :data:`WAL_DIR`) naming the active learner's pid.
+LOCK_FILE = "LOCK"
 
 #: ``(payload length, CRC32 of payload)``, little-endian.
 _HEADER = struct.Struct("<II")
@@ -69,6 +77,86 @@ FSYNC_POLICIES = ("always", "close", "never")
 
 class WalError(LibraryFormatError):
     """A write-ahead segment is malformed beyond torn-tail tolerance."""
+
+
+class LibraryLockedError(WalError):
+    """Another live process is already learning on this library."""
+
+
+def lock_path(directory: str | Path) -> Path:
+    """The learner lock file of a library directory."""
+    return Path(directory) / WAL_DIR / LOCK_FILE
+
+
+def acquire_learner_lock(directory: str | Path) -> Path:
+    """Claim exclusive learner rights over a library directory.
+
+    Two learners appending to one ``wal/`` race on segment creation —
+    the second one's exclusive-create blows up mid-request with a raw
+    ``FileExistsError``.  This lock moves the failure to open time with
+    a clear error instead: ``wal/LOCK`` records the holder's pid, and a
+    second :class:`~repro.library.online.LearningLibrary` open fails
+    fast with :class:`LibraryLockedError` while the holder lives.
+
+    A lock naming the *current* pid (a reopened learner in the same
+    process) or a dead pid (holder crashed without releasing — the lock
+    file has no other removal path after a SIGKILL) is taken over.
+    Unparseable lock files count as stale.
+    """
+    path = lock_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    my_pid = os.getpid()
+    while True:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder = _read_lock_pid(path)
+            if holder is not None and holder != my_pid and _pid_alive(holder):
+                raise LibraryLockedError(
+                    f"{Path(directory)}: library already has an active "
+                    f"learner (pid {holder}); stop that process first, or "
+                    f"point this one at its own library directory"
+                ) from None
+            try:  # stale or our own: take it over and retry the create
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            continue
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{my_pid}\n")
+        return path
+
+
+def release_learner_lock(directory: str | Path) -> None:
+    """Drop the learner lock if this process holds it (idempotent).
+
+    A lock held by another pid is left alone — releasing is only valid
+    for the acquirer, and a double release must not unlock a library a
+    different daemon has since claimed.
+    """
+    path = lock_path(directory)
+    if _read_lock_pid(path) == os.getpid():
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _read_lock_pid(path: Path) -> int | None:
+    try:
+        return int(path.read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    return True
 
 
 def segment_path(directory: str | Path, index: int) -> Path:

@@ -200,8 +200,10 @@ class Coalescer:
         self._executor.shutdown(wait=True)
         if self.learner is not None:
             # Drain hook: every queued request is answered by now, so
-            # the WAL is quiescent — fold it into the library image.
+            # the WAL is quiescent — fold it into the library image,
+            # then release the learner lock for the next daemon.
             self.learner.compact()
+            self.learner.close()
 
     # ------------------------------------------------------------------
     # Submission

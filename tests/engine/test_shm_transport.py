@@ -1,0 +1,313 @@
+"""Shared-memory transport: parity, arena lifecycle, crash cleanup.
+
+The shm transport's contract has two halves.  *Correctness*: buckets are
+byte-identical to the pickle transport and ``BatchedClassifier`` for
+every worker count and shard size, because the key codec round-trips
+canonical keys through flat ``int64`` rows exactly.  *Hygiene*: every
+arena this process creates is gone — from the registry and from
+``/dev/shm`` — after normal completion, a killed worker, and a
+SIGTERM'd parent alike.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import bitops
+from repro.core.msv import DEFAULT_PARTS, compute_msv
+from repro.engine import (
+    BatchedClassifier,
+    PackedTables,
+    ShardedClassifier,
+    check_span_coverage,
+    make_classifier,
+)
+from repro.engine.shm import (
+    ARENA_PREFIX,
+    ShmArena,
+    key_codec,
+    live_arena_names,
+)
+from repro.workloads import random_tables
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DEV_SHM = Path("/dev/shm")
+
+requires_dev_shm = pytest.mark.skipif(
+    not DEV_SHM.is_dir(), reason="needs a POSIX /dev/shm mount"
+)
+
+
+def digest(result) -> str:
+    return result.buckets_digest()
+
+
+def own_dev_shm_segments() -> list[str]:
+    """This process's arena files visible in /dev/shm."""
+    prefix = f"{ARENA_PREFIX}{os.getpid()}-"
+    return sorted(p.name for p in DEV_SHM.glob(f"{prefix}*"))
+
+
+class TestTransportParity:
+    """shm and pickle land on the batched engine's exact buckets."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_counts(self, workers):
+        tables = random_tables(5, 60, seed=40)
+        reference = digest(BatchedClassifier().classify(tables))
+        for transport in ("shm", "pickle"):
+            sharded = ShardedClassifier(
+                workers=workers, shard_size=7, transport=transport
+            )
+            assert digest(sharded.classify(tables)) == reference, transport
+
+    @pytest.mark.parametrize("shard_size", [1, 3, 37])
+    def test_odd_shard_sizes(self, shard_size):
+        tables = random_tables(5, 50, seed=41)
+        reference = digest(BatchedClassifier().classify(tables))
+        sharded = ShardedClassifier(
+            workers=2, shard_size=shard_size, transport="shm"
+        )
+        assert digest(sharded.classify(tables)) == reference
+
+    def test_mixed_arities_over_shm(self):
+        tables = random_tables(3, 20, seed=42) + random_tables(6, 20, seed=43)
+        reference = digest(BatchedClassifier().classify(tables))
+        sharded = ShardedClassifier(workers=2, shard_size=6, transport="shm")
+        assert digest(sharded.classify(tables)) == reference
+
+    @pytest.mark.slow
+    def test_spawn_start_method(self):
+        tables = random_tables(5, 30, seed=44)
+        reference = digest(BatchedClassifier().classify(tables))
+        sharded = ShardedClassifier(
+            workers=2, shard_size=8, start_method="spawn", transport="shm"
+        )
+        assert digest(sharded.classify(tables)) == reference
+
+
+class TestTransportSelection:
+    def test_default_prefers_shm(self):
+        assert ShardedClassifier(workers=2).transport == "shm"
+
+    def test_explicit_transports(self):
+        assert ShardedClassifier(workers=2, transport="pickle").transport == (
+            "pickle"
+        )
+        assert make_classifier(
+            "sharded", workers=2, transport="pickle"
+        ).transport == "pickle"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            ShardedClassifier(workers=2, transport="mmap")
+
+    def test_transport_requires_sharded_engine(self):
+        with pytest.raises(ValueError, match="sharded"):
+            make_classifier("batched", transport="shm")
+
+
+class TestKeyCodec:
+    """Canonical keys survive the flat-int64 round trip byte-exactly."""
+
+    def test_roundtrip_random_keys(self):
+        codec = key_codec(4, DEFAULT_PARTS)
+        for tt in random_tables(4, 12, seed=45):
+            key = compute_msv(tt).key
+            row = codec.flatten(key)
+            assert len(row) == codec.width
+            assert codec.unflatten(row) == key
+
+    def test_codec_is_cached_per_space(self):
+        assert key_codec(4, DEFAULT_PARTS) is key_codec(4, DEFAULT_PARTS)
+        assert key_codec(4, DEFAULT_PARTS) is not key_codec(5, DEFAULT_PARTS)
+
+    def test_flatten_rejects_foreign_shape(self):
+        codec = key_codec(4, DEFAULT_PARTS)
+        other_key = compute_msv(random_tables(5, 1, seed=46)[0]).key
+        with pytest.raises(ValueError, match="shape mismatch"):
+            codec.flatten(other_key)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            codec.flatten(())
+
+    def test_unflatten_rejects_wrong_width(self):
+        codec = key_codec(4, DEFAULT_PARTS)
+        with pytest.raises((ValueError, IndexError)):
+            codec.unflatten([0] * (codec.width + 1))
+
+
+class TestSpanCoverage:
+    def test_exact_tiling_passes(self):
+        check_span_coverage([(2, 3), (0, 2)], 5)  # order cannot matter
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            check_span_coverage([(0, 2), (2, 4)], 5)
+        with pytest.raises(ValueError, match="outside"):
+            check_span_coverage([(0, 0)], 5)
+        with pytest.raises(ValueError, match="outside"):
+            check_span_coverage([(-1, 2)], 5)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            check_span_coverage([(0, 3), (2, 3)], 5)
+
+    def test_rejects_hole(self):
+        with pytest.raises(ValueError, match="hole"):
+            check_span_coverage([(0, 2), (3, 2)], 5)
+
+    def test_rejects_partial_coverage(self):
+        with pytest.raises(ValueError, match="covered 2 of 5"):
+            check_span_coverage([(0, 2)], 5)
+
+
+class TestWrapReadonly:
+    """The zero-copy adoption path refuses anything __init__ would copy."""
+
+    @staticmethod
+    def valid_view(rows: int = 3, n: int = 6) -> np.ndarray:
+        words = np.zeros((rows, bitops.words_per_table(n)), dtype="<u8")
+        words.setflags(write=False)
+        return words
+
+    def test_adopts_view_without_copy(self):
+        words = self.valid_view()
+        packed = PackedTables.wrap_readonly(6, words)
+        assert packed.words is words
+        assert packed.n == 6
+
+    def test_rejects_wrong_width(self):
+        bad = np.zeros((3, 2), dtype="<u8")
+        bad.setflags(write=False)
+        with pytest.raises(ValueError, match="shape"):
+            PackedTables.wrap_readonly(6, bad)
+
+    def test_rejects_wrong_dtype(self):
+        bad = np.zeros((3, 1), dtype="<i8")
+        bad.setflags(write=False)
+        with pytest.raises(ValueError, match="u8"):
+            PackedTables.wrap_readonly(6, bad)
+
+    def test_rejects_non_contiguous(self):
+        wide = np.zeros((3, 2), dtype="<u8")
+        view = wide[:, ::2]
+        view.setflags(write=False)
+        with pytest.raises(ValueError, match="contiguous"):
+            PackedTables.wrap_readonly(6, view)
+
+    def test_rejects_writeable_view(self):
+        with pytest.raises(ValueError, match="read-only"):
+            PackedTables.wrap_readonly(
+                6, np.zeros((3, 1), dtype="<u8")
+            )
+
+
+class TestArenaLifecycle:
+    """One arena per pool scope, recycled across calls, gone afterwards."""
+
+    def test_arena_reused_across_calls_in_scope(self):
+        classifier = ShardedClassifier(
+            workers=2, shard_size=5, transport="shm"
+        )
+        with classifier.open_pool():
+            classifier.classify(random_tables(4, 24, seed=47))
+            holder = classifier._held_pool
+            first = holder._arena
+            assert first is not None
+            classifier.classify(random_tables(4, 24, seed=48))
+            assert holder._arena is first  # same capacity: recycled
+            classifier.classify(random_tables(6, 600, seed=49))
+            grown = holder._arena
+            assert grown is not first  # bigger batch: grown by replacement
+            assert grown.capacity > first.capacity
+            assert live_arena_names() == [grown.name]
+        assert live_arena_names() == []
+
+    def test_no_registry_entries_after_plain_classify(self):
+        classifier = ShardedClassifier(workers=2, transport="shm")
+        classifier.classify(random_tables(5, 40, seed=50))
+        assert live_arena_names() == []
+
+    @requires_dev_shm
+    def test_no_dev_shm_entries_after_classify(self):
+        classifier = ShardedClassifier(workers=2, transport="shm")
+        classifier.classify(random_tables(5, 40, seed=51))
+        assert own_dev_shm_segments() == []
+
+    def test_dispose_is_idempotent(self):
+        arena = ShmArena.create(1024)
+        assert arena.name in live_arena_names()
+        arena.dispose()
+        arena.dispose()
+        assert live_arena_names() == []
+
+    def test_create_rejects_empty_arena(self):
+        with pytest.raises(ValueError, match="positive"):
+            ShmArena.create(0)
+
+
+def _kill_self(task):  # pragma: no cover - runs (and dies) in a worker
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestCrashCleanup:
+    def test_killed_worker_raises_and_cleans_arena(self, monkeypatch):
+        """A SIGKILL'd worker surfaces as BrokenProcessPool, not a hang,
+        and the scope's unwind still disposes the arena."""
+        monkeypatch.setattr(
+            "repro.engine.sharded._classify_shard_shm", _kill_self
+        )
+        classifier = ShardedClassifier(
+            workers=2, shard_size=5, transport="shm", start_method="fork"
+        )
+        with pytest.raises(BrokenProcessPool):
+            classifier.classify(random_tables(5, 40, seed=52))
+        assert live_arena_names() == []
+        if DEV_SHM.is_dir():
+            assert own_dev_shm_segments() == []
+
+    @requires_dev_shm
+    def test_sigterm_parent_unlinks_arena(self, tmp_path):
+        """A terminated owner leaves /dev/shm clean via the signal chain."""
+        script = tmp_path / "owner.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import signal
+                from repro.engine.shm import ShmArena
+
+                arena = ShmArena.create(4096)
+                print(arena.name, flush=True)
+                signal.pause()  # wait for the test to SIGTERM us
+                """
+            )
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name.startswith(ARENA_PREFIX)
+            assert (DEV_SHM / name).exists()
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - hung child
+                proc.kill()
+                proc.wait()
+        # The chain handler re-raises the default SIGTERM death...
+        assert returncode == -signal.SIGTERM
+        # ...after unlinking the arena it owned.
+        assert not (DEV_SHM / name).exists()

@@ -2,7 +2,8 @@
 
 Covers the :class:`LearningLibrary` lifecycle end to end — open with and
 without an image, crash-recovery replay (including a torn final record),
-minting with verified witnesses, the signature-collision guard, the
+minting with verified witnesses, overflow minting on signature
+collision, the
 segment-size compaction trip — plus the clean-miss pins: an empty
 library and a segment-only library must answer unknown queries with an
 honest miss, never an error.
@@ -115,10 +116,12 @@ class TestLearn:
         assert outcome.verify(image)
         assert learner.minted == 1
 
-    def test_signature_collision_stays_a_miss(self, tmp_path):
+    def test_signature_collision_mints_overflow_class(self, tmp_path):
         # Synthesize a collision: plant an NPN-inequivalent function
-        # under the query's own digest, so learn() finds the id taken
-        # but the witness matcher proves the orbits differ.
+        # under the query's own digest, so learn() finds the base id
+        # taken but the witness matcher proves the orbits differ.  The
+        # query must land in the first free overflow slot — and repeat
+        # traffic must converge to a verified hit via slot probing.
         from repro.core.msv import compute_msv
         from repro.library.store import NPNClassEntry
 
@@ -131,10 +134,24 @@ class TestLearn:
             class_id=class_id, representative=other, size=1, exact=False
         )
         outcome = learner.learn(tt, signature)
-        assert outcome is None
+        assert outcome is not None
+        assert outcome.class_id == f"{class_id}-1"
+        assert outcome.verify(tt)
         assert learner.collisions == 1
-        assert learner.minted == 0
+        assert learner.minted == 1
+        assert learner.overflow_minted == 1
         assert learner.stats()["signature_collisions"] == 1
+        assert learner.stats()["overflow_minted"] == 1
+
+        # The overflow class is now first-class knowledge: a repeat
+        # query resolves through match_many's probe chain — the base
+        # slot fails the witness check, the ``-1`` slot proves it.
+        repeat = learner.library.match(tt)
+        assert repeat is not None
+        assert repeat.class_id == outcome.class_id
+        assert repeat.verify(tt)
+        assert learner.learn(tt, signature).class_id == outcome.class_id
+        assert learner.minted == 1  # no second mint
 
 
 class TestReplayAndRecovery:
@@ -242,6 +259,7 @@ class TestCompaction:
         assert stats == {
             "classes_minted": 1,
             "signature_collisions": 0,
+            "overflow_minted": 0,
             "wal_pending_records": 1,
             "wal_segments": 1,
             "compactions": 0,
