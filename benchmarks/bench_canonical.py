@@ -1,0 +1,102 @@
+"""Bench: canonical engine vs signature buckets — parity and pruning.
+
+The canonical engine's acceptance contract:
+
+* **Count parity** — on every n = 4..6 mixed workload the exact engine
+  reports class counts byte-identical to the batched signature engine
+  (the signatures are perfect discriminators there), with identical
+  member partitions.
+* **Pruning** — on the mixed n = 6 workload the signature pre-filter +
+  matcher must decide at least 90% of the functions without an exact
+  canonicalization (``pruned_fraction >= 0.90``).
+
+Results are persisted to ``results/BENCH_canonical.json`` and the
+markdown table to ``results/canonical_compare.md``.
+"""
+
+import pytest
+
+from repro.analysis.tables import write_markdown_table
+from repro.canonical.engine import CanonicalClassifier
+from repro.engine import BatchedClassifier
+from repro.experiments.canonical_compare import (
+    COMPARE_ARITIES,
+    _mixed_workload,
+    run_canonical_compare,
+)
+
+#: Serving-shaped workload per arity: hot orbits (each contributing
+#: many NPN images) salted with fresh random misses.
+WORKLOAD_ORBITS = 40
+WORKLOAD_REPEATS = 24
+WORKLOAD_FRESH = 40
+WORKLOAD_SEED = 2023
+
+#: Minimum share of functions the pre-filter must decide at n = 6.
+MIN_PRUNED_FRACTION = 0.90
+
+
+def _partition(result):
+    return sorted(
+        tuple(sorted(tt.bits for tt in members))
+        for members in result.groups.values()
+    )
+
+
+@pytest.fixture(scope="module")
+def compare_rows():
+    return run_canonical_compare(
+        orbits=WORKLOAD_ORBITS,
+        repeats=WORKLOAD_REPEATS,
+        fresh=WORKLOAD_FRESH,
+        seed=WORKLOAD_SEED,
+    )
+
+
+@pytest.mark.parametrize("n", COMPARE_ARITIES)
+def test_class_count_parity(n):
+    tables = _mixed_workload(
+        n,
+        orbits=WORKLOAD_ORBITS,
+        repeats=WORKLOAD_REPEATS,
+        fresh=WORKLOAD_FRESH,
+        seed=WORKLOAD_SEED,
+    )
+    signature = BatchedClassifier().classify(tables)
+    canonical = CanonicalClassifier().classify(tables)
+    assert canonical.num_classes == signature.num_classes
+    assert _partition(canonical) == _partition(signature)
+
+
+def test_pruning_and_persist(compare_rows, results_dir, persist_bench):
+    """The acceptance run: >= 90% pruned at n = 6, table persisted."""
+    by_n = {row["n"]: row for row in compare_rows}
+    for n in COMPARE_ARITIES:
+        assert by_n[n]["canonical_classes"] == by_n[n]["signature_classes"]
+    pruned = by_n[6]["pruned_fraction"]
+    assert pruned >= MIN_PRUNED_FRACTION, (
+        f"signature pre-filter pruned only {pruned:.1%} of exact "
+        f"canonicalization calls at n=6 (need >= {MIN_PRUNED_FRACTION:.0%})"
+    )
+    write_markdown_table(
+        compare_rows,
+        results_dir / "canonical_compare.md",
+        title=(
+            "Canonical engine vs signature buckets — mixed "
+            f"{WORKLOAD_ORBITS}+{WORKLOAD_FRESH} workload per n"
+        ),
+    )
+    persist_bench(
+        "canonical",
+        {
+            "workload": {
+                "orbits": WORKLOAD_ORBITS,
+                "repeats_per_orbit": WORKLOAD_REPEATS,
+                "fresh": WORKLOAD_FRESH,
+                "seed": WORKLOAD_SEED,
+            },
+            "min_pruned_fraction_required": MIN_PRUNED_FRACTION,
+            "pruned_fraction_n6": pruned,
+            "rows": compare_rows,
+        },
+    )

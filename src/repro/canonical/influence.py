@@ -1,0 +1,90 @@
+"""Influence vectors and influence-sorted candidate permutations.
+
+Influence (paper Definition 5, integer convention) is invariant under
+input negation and output negation, and a permutation merely rearranges
+it: if ``g = f ∘ perm`` with ``w_i = x_{perm[i]}`` then
+``inf(g, perm[i]) = inf(f, i)``.  The canonical (orbit-minimum) table
+therefore carries one of at most ``n!`` arrangements of the same
+multiset of influences — and empirically the minimum overwhelmingly
+arranges influence **non-decreasing** in variable index (a sampled n=4
+probe finds the non-decreasing arrangement ~7x more often than the
+non-increasing one).
+
+:func:`candidate_permutations` turns that bias into a search order: all
+``n!`` permutations, sorted so the ones producing a non-decreasing
+influence arrangement come first, then by the arrangement itself.  The
+exact search in :mod:`repro.canonical.form` walks this order, so a
+near-minimal incumbent appears within the first few candidates and the
+incumbent-prefix bound prunes the rest of the space.  Ordering never
+drops a permutation — exactness is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.core.characteristics import influences
+from repro.core.truth_table import TruthTable
+
+__all__ = [
+    "influence_vector",
+    "arrangement_of",
+    "candidate_permutations",
+]
+
+
+def influence_vector(tt: TruthTable) -> tuple[int, ...]:
+    """Integer influence of every variable, in variable order.
+
+    Thin alias of :func:`repro.core.characteristics.influences`, re-read
+    here because the canonicalizer's ordering contract is stated in terms
+    of this vector.
+    """
+    return influences(tt)
+
+
+def arrangement_of(
+    infl: tuple[int, ...], perm: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Influence arrangement of ``g = f ∘ perm`` in ``g``'s variable order.
+
+    ``inf(g, perm[i]) = inf(f, i)``, so entry ``j`` of the result is the
+    influence of ``g``'s variable ``j``.
+    """
+    out = [0] * len(perm)
+    for i, target in enumerate(perm):
+        out[target] = infl[i]
+    return tuple(out)
+
+
+def _non_decreasing(values: tuple[int, ...]) -> bool:
+    return all(a <= b for a, b in zip(values, values[1:]))
+
+
+@lru_cache(maxsize=1024)
+def _ordered_permutations(
+    infl: tuple[int, ...],
+) -> tuple[tuple[int, ...], ...]:
+    n = len(infl)
+    perms = list(itertools.permutations(range(n)))
+    perms.sort(
+        key=lambda perm: (
+            not _non_decreasing(arrangement_of(infl, perm)),
+            arrangement_of(infl, perm),
+            perm,
+        )
+    )
+    return tuple(perms)
+
+
+def candidate_permutations(infl: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    """All ``n!`` permutations, most-promising-first.
+
+    Permutations whose image arranges influence non-decreasing in
+    variable index sort first (the arrangement the orbit minimum usually
+    carries), ties broken by the arrangement then the permutation itself,
+    so the order is deterministic.  The full group is always returned —
+    this is a *search order*, not a restriction.
+    """
+    return _ordered_permutations(tuple(int(v) for v in infl))

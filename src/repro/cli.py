@@ -50,9 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="perfn",
         choices=ENGINE_NAMES,
-        help="signature engine for --method ours: one function at a time "
-        "(perfn), the packed/vectorized batch engine (batched), or the "
-        "multi-process sharded engine (sharded)",
+        help="engine for --method ours: one function at a time (perfn), "
+        "the packed/vectorized batch engine (batched), the multi-process "
+        "sharded engine (sharded), or the signature-prefiltered exact "
+        "canonical-form engine (canonical)",
     )
     classify.add_argument(
         "--workers",
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     canonical.add_argument("table", help="truth table (binary, or hex with 0x prefix)")
     canonical.add_argument("--n", type=int, help="variable count (needed for hex)")
+    canonical.add_argument(
+        "--search-stats",
+        action="store_true",
+        help="run the influence-guided scalar search and report how many "
+        "permutations/phase candidates it actually materialized",
+    )
 
     match = sub.add_parser("match", help="find an NPN transform between two functions")
     match.add_argument("source", help="source truth table")
@@ -114,10 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="batched",
         choices=ENGINE_NAMES,
-        help="classification engine (all three build identical libraries)",
+        help="classification engine (every engine builds the same library)",
     )
     lib_build.add_argument(
         "--workers", type=int, default=None, help="workers for --engine sharded"
+    )
+    lib_build.add_argument(
+        "--id-scheme",
+        default="canonical",
+        choices=("canonical", "digest"),
+        help="class-id scheme: orbit-canonical ids (default) or the "
+        "legacy signature-digest ids with overflow slots",
     )
     _add_transport_flags(lib_build)
     lib_stats = lib_sub.add_parser("stats", help="summarise a saved library")
@@ -494,16 +508,31 @@ def _cmd_signatures(args) -> int:
 
 
 def _cmd_canonical(args) -> int:
-    from repro.baselines.guided import guided_exact_canonical, search_space_size
     from repro.baselines.matcher import find_npn_transform
+    from repro.canonical import (
+        canonical_class_id,
+        canonical_form,
+        influence_canonical_scalar,
+        influence_vector,
+    )
 
     tt = _parse_one(args.table, args.n)
-    canonical = guided_exact_canonical(tt)
+    canonical = canonical_form(tt)
     witness = find_npn_transform(tt, canonical)
     print(f"function:   {tt!r}")
+    print(f"influence:  {influence_vector(tt)}")
     print(f"canonical:  {canonical!r}  binary={canonical.to_binary()}")
+    print(f"class id:   {canonical_class_id(canonical)}")
     print(f"witness:    {witness}")
-    print(f"candidates searched: {search_space_size(tt)}")
+    if args.search_stats:
+        stats: dict = {}
+        scalar = influence_canonical_scalar(tt, stats=stats)
+        assert scalar == canonical, "scalar search disagrees with kernel"
+        print(
+            f"search:     {stats['permutations']} permutations, "
+            f"{stats['phase_candidates']} phase candidates, "
+            f"{stats['phases_materialized']} materialized"
+        )
     return 0
 
 
@@ -649,6 +678,7 @@ def _cmd_library_build(args) -> int:
         engine=args.engine,
         workers=args.workers,
         transport=args.transport,
+        id_scheme=args.id_scheme,
     )
     path = library.save(args.out)
     print(

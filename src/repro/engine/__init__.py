@@ -37,7 +37,7 @@ from repro.engine.sharded import (
 from repro.engine.signatures import batched_pieces
 
 #: Engine names accepted by :func:`make_classifier` (and the CLI flags).
-ENGINE_NAMES = ("perfn", "batched", "sharded")
+ENGINE_NAMES = ("perfn", "batched", "sharded", "canonical")
 
 
 def make_classifier(
@@ -46,13 +46,16 @@ def make_classifier(
     workers: int | None = None,
     transport: str | None = None,
 ):
-    """One constructor for every signature engine, keyed by name.
+    """One constructor for every engine, keyed by name.
 
-    All three produce byte-identical buckets on the same input; the
-    choice is purely a throughput knob.  ``workers`` and ``transport``
-    are only meaningful for the sharded engine — passing either with any
-    other engine raises, so a mis-wired CLI flag cannot be silently
-    ignored.
+    The three signature engines produce byte-identical buckets on the
+    same input — the choice is purely a throughput knob.  ``canonical``
+    is the exact engine: signatures as the pre-filter, the
+    influence-aided canonical form as the decider, result groups keyed
+    by true orbit minima (:mod:`repro.canonical`).  ``workers`` and
+    ``transport`` are only meaningful for the sharded engine — passing
+    either with any other engine raises, so a mis-wired CLI flag cannot
+    be silently ignored.
     """
     if engine not in ENGINE_NAMES:
         raise ValueError(
@@ -70,6 +73,11 @@ def make_classifier(
         return FacePointClassifier(parts)
     if engine == "batched":
         return BatchedClassifier(parts)
+    if engine == "canonical":
+        # Lazy import: repro.canonical.engine builds on this package.
+        from repro.canonical.engine import CanonicalClassifier
+
+        return CanonicalClassifier(parts)
     return ShardedClassifier(parts, workers=workers, transport=transport)
 
 

@@ -214,14 +214,29 @@ class ShmArena:
             raise ValueError(f"arena size must be positive, got {nbytes}")
         while True:
             name = f"{ARENA_PREFIX}{os.getpid()}-{next(_ARENA_SEQ)}"
+            shm = None
             try:
-                shm = _shared_memory.SharedMemory(
-                    name=name, create=True, size=nbytes
-                )
-            except FileExistsError:  # stale segment from a recycled pid
-                continue
+                # Create-and-register is atomic: any exception past the
+                # point the segment may exist on disk (shm_open succeeds,
+                # then e.g. ftruncate/mmap dies with ENOMEM inside the
+                # SharedMemory constructor — which does *not* unlink the
+                # file it just created) unlinks it on the way out, so no
+                # unregistered repro-shm-* orphan survives the raise.
+                try:
+                    shm = _shared_memory.SharedMemory(
+                        name=name, create=True, size=nbytes
+                    )
+                except FileExistsError:  # stale segment from a recycled pid
+                    continue
+                _LIVE[shm.name] = (shm, os.getpid())
+            except BaseException:
+                if shm is not None:
+                    _LIVE.pop(shm.name, None)
+                    _dispose_segment(shm)
+                else:
+                    _unlink_orphan(name)
+                raise
             break
-        _LIVE[shm.name] = (shm, os.getpid())
         _install_cleanup_hooks()
         return cls(shm)
 
@@ -251,6 +266,32 @@ def _dispose_segment(shm) -> None:
         shm.close()
     except BufferError:  # pragma: no cover - a live view pins the map;
         pass  # the segment is unlinked either way, so nothing leaks
+
+
+def _unlink_orphan(name: str) -> None:
+    """Best-effort unlink of a segment a *failed* constructor left behind.
+
+    The constructor raised before handing back an object, so there is
+    nothing to ``close``/``unlink`` through — remove the file by name.
+    ``shm_unlink`` is preferred (no second mmap, which is exactly what
+    may have just failed); attaching is the portable fallback.  Never
+    raises: cleanup of a failure path must not mask the original error.
+    """
+    try:
+        from _posixshmem import shm_unlink  # POSIX fast path
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        shm_unlink = None
+    if shm_unlink is not None:
+        try:
+            shm_unlink("/" + name)
+        except OSError:
+            pass
+        return
+    try:  # pragma: no cover - non-POSIX platform
+        stale = _shared_memory.SharedMemory(name=name)
+    except Exception:
+        return
+    _dispose_segment(stale)
 
 
 def _cleanup_owned_arenas() -> None:

@@ -1,0 +1,97 @@
+"""Head-to-head: signature-bucket engine vs the exact canonical engine.
+
+One row per arity (n = 4..6): functions classified, class counts and
+classes/second for the batched signature engine and the hybrid
+:class:`~repro.canonical.engine.CanonicalClassifier`, plus the
+canonical engine's decider statistics — how many exact
+canonicalizations actually ran and what fraction of the traffic the
+signature pre-filter + matcher pruned away.
+
+The workload is serving-shaped: a minority of hot orbits supplies most
+of the traffic as NPN images (repeat hits), salted with fresh random
+functions (misses).  Exact canonicalization is only ever needed once
+per *class*, so on such traffic the pre-filter decides the repeats for
+free and the pruned fraction is high — the property
+``benchmarks/bench_canonical.py`` gates at >= 90% for n = 6 and
+persists to ``BENCH_canonical.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.canonical.engine import CanonicalClassifier
+from repro.engine import BatchedClassifier
+from repro.workloads.random_functions import (
+    random_tables,
+    seeded_equivalent_tables,
+)
+
+__all__ = ["COMPARE_ARITIES", "canonical_compare_row", "run_canonical_compare"]
+
+#: Arities of the head-to-head table (the kernel-backed range).
+COMPARE_ARITIES = (4, 5, 6)
+
+
+def _mixed_workload(
+    n: int, orbits: int, repeats: int, fresh: int, seed: int
+):
+    """Hot-orbit repeat traffic plus fresh misses, deterministically mixed."""
+    tables, _ = seeded_equivalent_tables(
+        n, orbits=orbits, members_per_orbit=repeats, seed=seed
+    )
+    tables += random_tables(n, fresh, seed + 1)
+    random.Random(seed + 2).shuffle(tables)
+    return tables
+
+
+def canonical_compare_row(
+    n: int,
+    orbits: int = 40,
+    repeats: int = 24,
+    fresh: int = 40,
+    seed: int = 2023,
+) -> dict:
+    """One table row: both engines over the same mixed workload."""
+    tables = _mixed_workload(n, orbits, repeats, fresh, seed)
+
+    start = time.perf_counter()
+    signature_result = BatchedClassifier().classify(tables)
+    signature_seconds = time.perf_counter() - start
+
+    engine = CanonicalClassifier()
+    start = time.perf_counter()
+    canonical_result = engine.classify(tables)
+    canonical_seconds = time.perf_counter() - start
+
+    stats = engine.stats
+    return {
+        "n": n,
+        "functions": len(tables),
+        "signature_classes": signature_result.num_classes,
+        "signature_seconds": round(signature_seconds, 4),
+        "signature_classes_per_s": round(
+            signature_result.num_classes / signature_seconds
+        ),
+        "canonical_classes": canonical_result.num_classes,
+        "canonical_seconds": round(canonical_seconds, 4),
+        "canonical_classes_per_s": round(
+            canonical_result.num_classes / canonical_seconds
+        ),
+        "canonical_calls": stats.canonical_calls,
+        "matcher_calls": stats.matcher_calls,
+        "pruned_fraction": round(stats.pruned_fraction, 4),
+    }
+
+
+def run_canonical_compare(
+    orbits: int = 40, repeats: int = 24, fresh: int = 40, seed: int = 2023
+) -> list[dict]:
+    """The full head-to-head table over :data:`COMPARE_ARITIES`."""
+    return [
+        canonical_compare_row(
+            n, orbits=orbits, repeats=repeats, fresh=fresh, seed=seed
+        )
+        for n in COMPARE_ARITIES
+    ]

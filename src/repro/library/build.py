@@ -1,34 +1,35 @@
 """Building class libraries from classification results and corpora.
 
-Representative election — the rule that fixes each class's canonical
-table — depends on the arity:
+Under the default **canonical** id scheme every class representative is
+the *exact orbit minimum* at every arity — computed through the batched
+:func:`repro.canonical.form.canonical_forms` path (``canonical_min``
+gather kernels for ``n <= 6``, the influence-guided scalar search
+above), one call per arity over the first member of every bucket.  The
+class id is a pure function of the orbit (``n{n}-c{hex}``), so two
+independently built libraries mint identical ids for the same orbit.
+Results from the :class:`~repro.canonical.engine.CanonicalClassifier`
+already carry canonical representatives as their group keys; those are
+reused without recomputation.
 
-* ``n <= EXACT_REP_MAX_VARS`` (4): the representative is the *exhaustive
-  orbit minimum* — computed through the batched
-  :func:`repro.kernels.canonical_min` gather kernel (byte-identical to
-  :func:`repro.baselines.exact_enum.exact_npn_canonical`, which remains
-  the oracle the tests compare against).  At n=4 the orbit has at most
-  768 images, so this costs microseconds per class and makes the
-  representative a pure function of the class — independent of which
-  members were observed; :func:`library_from_result` additionally
-  batches the minima of *all* buckets of an arity into single kernel
-  calls.
-* ``n >= 5``: enumerating ``2^(n+1) n!`` images per class is the exact
-  cost the paper's signature approach avoids, so the representative is
-  *elected*: the lexicographically smallest observed member of the
-  signature bucket.  Deterministic for a fixed corpus (the golden
-  regression corpus pins it), and stable under merges because
-  :meth:`ClassLibrary.merged_with` keeps the smaller representative.
+The legacy **digest** scheme keeps its original election rule:
+
+* ``n <= EXACT_REP_MAX_VARS`` (4): exhaustive orbit minima;
+* ``n >= 5``: the lexicographically smallest observed member of the
+  signature bucket — deterministic for a fixed corpus, stable under
+  merges because :meth:`ClassLibrary.merged_with` keeps the smaller
+  representative.
 
 Builders accept a ready :class:`~repro.core.classifier.ClassificationResult`
-from *any* engine — per-function, batched or sharded all produce
-byte-identical buckets, so the resulting library is engine-independent.
+from *any* engine — per-function, batched, sharded and canonical all
+produce consistent buckets, so the resulting library is
+engine-independent.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.canonical.form import canonical_forms
 from repro.core.classifier import ClassificationResult
 from repro.core.msv import DEFAULT_PARTS
 from repro.core.truth_table import TruthTable
@@ -44,12 +45,14 @@ __all__ = [
     "elect_representative",
 ]
 
-#: Largest arity whose representatives are exhaustive orbit minima.
+#: Largest arity whose digest-scheme representatives are exhaustive
+#: orbit minima (canonical-scheme representatives are exact at *every*
+#: arity).
 EXACT_REP_MAX_VARS = 4
 
 
 def elect_representative(members: list[TruthTable]) -> tuple[TruthTable, bool]:
-    """Canonical representative of one signature bucket (see module doc).
+    """Digest-scheme representative of one signature bucket (see module doc).
 
     Returns ``(representative, exact)`` where ``exact`` records whether
     the representative is the orbit minimum or an elected member.
@@ -62,17 +65,46 @@ def elect_representative(members: list[TruthTable]) -> tuple[TruthTable, bool]:
     return min(members), False
 
 
-def library_from_result(result: ClassificationResult) -> ClassLibrary:
+def library_from_result(
+    result: ClassificationResult, id_scheme: str = "canonical"
+) -> ClassLibrary:
     """Build a library from any engine's classification result.
 
-    Every signature bucket becomes one class; bucket membership only
-    influences elected (n >= 5) representatives, never exact ones.
-    Exact (n <= 4) representatives are computed as *batched* canonical
-    minima — one :func:`repro.kernels.canonical_min` call per arity over
-    the first member of every bucket.
+    Every bucket becomes one class.  Canonical scheme: each bucket's
+    first member is canonicalized — batched per arity — unless the
+    result already carries canonical keys (the canonical engine), which
+    are trusted as-is.  Digest scheme: the legacy election rule.
     """
-    library = ClassLibrary(result.parts)
+    library = ClassLibrary(result.parts, id_scheme)
     buckets = list(result.groups.values())
+    if id_scheme == "canonical":
+        keys = list(result.groups.keys())
+        reps: dict[int, TruthTable] = {}
+        pending_by_n: dict[int, list[int]] = {}
+        for index, key in enumerate(keys):
+            table = getattr(key, "table", None)
+            if isinstance(table, TruthTable):
+                # CanonicalClass keys *are* the exact representatives.
+                reps[index] = table
+            else:
+                first = buckets[index][0]
+                pending_by_n.setdefault(first.n, []).append(index)
+        for n, bucket_indices in pending_by_n.items():
+            forms = canonical_forms(
+                [buckets[i][0] for i in bucket_indices],
+                n,
+                cache_dir=library.kernel_cache_dir,
+            )
+            for i, rep in zip(bucket_indices, forms):
+                reps[i] = rep
+        for index, members in enumerate(buckets):
+            library.add_class(
+                reps[index],
+                size=len(members),
+                exact=True,
+                canonical_rep=True,
+            )
+        return library
     exact_by_n: dict[int, list[int]] = {}
     for index, members in enumerate(buckets):
         if members and members[0].n <= EXACT_REP_MAX_VARS:
@@ -99,6 +131,7 @@ def build_library(
     engine: str = "batched",
     workers: int | None = None,
     transport: str | None = None,
+    id_scheme: str = "canonical",
 ) -> ClassLibrary:
     """Classify ``tables`` with the chosen engine and build a library."""
     from repro.engine import make_classifier
@@ -106,7 +139,9 @@ def build_library(
     classifier = make_classifier(
         engine, parts=parts, workers=workers, transport=transport
     )
-    return library_from_result(classifier.classify(list(tables)))
+    return library_from_result(
+        classifier.classify(list(tables)), id_scheme=id_scheme
+    )
 
 
 def build_exhaustive_library(
@@ -114,12 +149,17 @@ def build_exhaustive_library(
     parts=DEFAULT_PARTS,
     engine: str = "batched",
     workers: int | None = None,
+    id_scheme: str = "canonical",
 ) -> ClassLibrary:
     """Library over *all* ``2^(2^n)`` functions of ``n`` variables (n <= 4).
 
-    The complete signature-class inventory of the arity; at n = 4 this is
-    the classical 222 NPN classes.
+    The complete class inventory of the arity; at n = 4 this is the
+    classical 222 NPN classes.
     """
     return build_library(
-        exhaustive_tables(n), parts=parts, engine=engine, workers=workers
+        exhaustive_tables(n),
+        parts=parts,
+        engine=engine,
+        workers=workers,
+        id_scheme=id_scheme,
     )

@@ -3,10 +3,11 @@
 A one-shot library answers the queries its build corpus anticipated and
 throws everything else away as a miss.  :class:`LearningLibrary` turns
 the library into a living artifact: a query matching no stored class is
-classified, minted as a new class (id derived from its signature digest,
-exactly like built classes), and appended to a write-ahead segment
-(:mod:`repro.library.wal`) so the knowledge survives a crash without
-rewriting the manifest+npz image per miss.
+classified, minted as a new class (id derived exactly like built
+classes — the canonical form under the canonical scheme, the signature
+digest under the legacy digest scheme), and appended to a write-ahead
+segment (:mod:`repro.library.wal`) so the knowledge survives a crash
+without rewriting the manifest+npz image per miss.
 
 Lifecycle::
 
@@ -29,12 +30,15 @@ and minimum representatives — an order-independent fold — and
 arrival order, segmentation, or crash/replay history of the same
 records compacts to the identical image.
 
-Minting keeps the library's representative contract: at
-``n <= EXACT_REP_MAX_VARS`` the minted representative is the exhaustive
-orbit minimum (a pure function of the class), above it the query itself
-is elected.  Either way the returned :class:`LibraryMatch` carries a
-verified witness, so a learned answer is exactly as trustworthy as a
-built one.
+Minting keeps the library's representative contract.  Canonical scheme:
+the minted representative is the exact orbit minimum at every arity and
+the id is ``n{n}-c{hex}`` — a pure function of the orbit, so the
+overflow machinery below is structurally unreachable (ids cannot
+collide).  Digest scheme (legacy): at ``n <= EXACT_REP_MAX_VARS`` the
+representative is the exhaustive orbit minimum, above it the query
+itself is elected, and digest-colliding orbits land in overflow slots.
+Either way the returned :class:`LibraryMatch` carries a verified
+witness, so a learned answer is exactly as trustworthy as a built one.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.baselines.matcher import find_npn_transform
+from repro.canonical.form import canonical_class_id, canonical_form
 from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv
 from repro.core.truth_table import TruthTable
 from repro.library.build import elect_representative
@@ -122,6 +127,7 @@ class LearningLibrary:
         #: Misses whose signature digest collided with one or more
         #: stored, NPN-inequivalent classes; each is minted into an
         #: overflow slot (counted in :attr:`overflow_minted` too).
+        #: Digest scheme only — canonical ids cannot collide.
         self.collisions = 0
         #: Subset of :attr:`minted` that landed in overflow slots.
         self.overflow_minted = 0
@@ -143,13 +149,15 @@ class LearningLibrary:
         fsync: str = "close",
         create: bool = False,
         parts=DEFAULT_PARTS,
+        id_scheme: str = "canonical",
     ) -> "LearningLibrary":
         """Load the image (if any) and replay every WAL segment.
 
         With ``create``, a directory holding no image yet starts from an
-        empty library over ``parts`` — the segment-only crash case and
-        the grow-from-nothing case.  Without it, a missing image raises
-        like :meth:`ClassLibrary.load`.  Torn final records are
+        empty library over ``parts`` and ``id_scheme`` — the segment-only
+        crash case and the grow-from-nothing case (an existing image
+        keeps its own persisted scheme).  Without it, a missing image
+        raises like :meth:`ClassLibrary.load`.  Torn final records are
         truncated away by the replay, never re-served.
 
         Opening claims the directory's learner lock (``wal/LOCK``): a
@@ -165,7 +173,7 @@ class LearningLibrary:
             if (directory / MANIFEST_FILE).exists() or not create:
                 library = ClassLibrary.load(directory)
             else:
-                library = ClassLibrary(parts)
+                library = ClassLibrary(parts, id_scheme=id_scheme)
                 library.kernel_cache_dir = directory / "kernels"
             learner = cls(
                 library, directory, segment_bytes=segment_bytes, fsync=fsync
@@ -211,8 +219,8 @@ class LearningLibrary:
         except ValueError as exc:
             raise WalError(
                 f"{path}: record class id {record['class_id']!r} fails its "
-                f"signature check ({exc}) — the segment is corrupted or was "
-                f"produced by an incompatible signature implementation"
+                f"identity check ({exc}) — the segment is corrupted or was "
+                f"produced by an incompatible implementation"
             ) from exc
 
     # ------------------------------------------------------------------
@@ -225,48 +233,77 @@ class LearningLibrary:
         """Mint (or resolve) the class of a query that missed the library.
 
         Call this only after :meth:`ClassLibrary.match` returned ``None``.
-        Three outcomes:
 
-        * the signature digest is new — the class is minted into its
-          base id, WAL-logged, and a verified match is returned;
-        * some slot of the digest's overflow chain proves the query
-          equivalent after all (a duplicate miss inside one coalescer
-          batch, racing the mint) — the existing match is returned, no
-          record written;
-        * every stored slot is NPN-inequivalent to the query (a genuine
-          signature collision) — the query is minted into the first free
-          *overflow slot* (``n{n}-{digest}-1``, ``-2``, …), so repeated
-          traffic on a colliding orbit converges to a verified hit
-          instead of recounting misses forever.  :attr:`collisions` and
-          :attr:`overflow_minted` count it.
+        Canonical scheme: the query is canonicalized — its orbit's id is
+        then an exact key.  A stored entry under that id (a duplicate
+        miss inside one coalescer batch, racing the mint) resolves to
+        the existing class; otherwise the class is minted under its
+        canonical id and WAL-logged.  Digest collisions cannot happen:
+        two colliding misses in one batch mint two *different* ids, so
+        no verification-by-digest ever decides an answer.
+
+        Digest scheme (legacy): the digest's overflow chain is probed
+        slot by slot, each occupant re-verified with the matcher — never
+        trusted on digest equality alone — so a batch carrying two
+        digest-colliding misses records the second under a fresh
+        overflow slot (``n{n}-{digest}-1``, ``-2``, …) instead of fusing
+        it into the first.  :attr:`collisions` and
+        :attr:`overflow_minted` count such mints.
+
+        Either way the reply carries a matcher-verified witness.
         """
-        if signature is None:
-            signature = compute_msv(tt, self.library.parts)
-        slot = self.library.class_id_of(signature)
-        while True:
-            existing = self.library.classes.get(slot)
-            if existing is None:
-                break
-            witness = find_npn_transform(existing.representative, tt)
-            if witness is not None:
+        if self.library.id_scheme == "canonical":
+            representative = canonical_form(
+                tt, cache_dir=self.library.kernel_cache_dir
+            )
+            class_id = canonical_class_id(representative)
+            existing = self.library.classes.get(class_id)
+            if existing is not None:
+                witness = find_npn_transform(existing.representative, tt)
+                if witness is None:  # pragma: no cover - canonical id broken
+                    raise WalError(
+                        f"stored class {class_id!r} has no transform onto "
+                        f"its own orbit member {tt!r}"
+                    )
                 return LibraryMatch(existing, witness)
-            slot = overflow_successor(slot)
-        overflow = slot != self.library.class_id_of(signature)
-        representative, exact = elect_representative([tt])
-        entry = self.library.add_class(
-            representative, size=1, exact=exact, class_id=slot
-        )
-        witness = find_npn_transform(representative, tt)
+            exact = True
+            entry = self.library.add_class(
+                representative,
+                size=1,
+                exact=True,
+                class_id=class_id,
+                canonical_rep=True,
+            )
+            overflow = False
+        else:
+            if signature is None:
+                signature = compute_msv(tt, self.library.parts)
+            base = self.library.class_id_of(signature)
+            slot = base
+            while True:
+                existing = self.library.classes.get(slot)
+                if existing is None:
+                    break
+                witness = find_npn_transform(existing.representative, tt)
+                if witness is not None:
+                    return LibraryMatch(existing, witness)
+                slot = overflow_successor(slot)
+            overflow = slot != base
+            representative, exact = elect_representative([tt])
+            entry = self.library.add_class(
+                representative, size=1, exact=exact, class_id=slot
+            )
+        witness = find_npn_transform(entry.representative, tt)
         if witness is None:  # pragma: no cover - election produced non-member
             raise WalError(
-                f"minted representative {representative!r} has no transform "
-                f"onto its own class member {tt!r}"
+                f"minted representative {entry.representative!r} has no "
+                f"transform onto its own class member {tt!r}"
             )
         self._append(
             {
                 "class_id": entry.class_id,
                 "n": entry.n,
-                "representative": representative.to_hex(),
+                "representative": entry.representative.to_hex(),
                 "size": 1,
                 "exact": exact,
             }
@@ -361,6 +398,7 @@ class LearningLibrary:
     def stats(self) -> dict:
         """JSON-ready learning counters (for ``/v1/stats`` and the CLI)."""
         return {
+            "id_scheme": self.library.id_scheme,
             "classes_minted": self.minted,
             "signature_collisions": self.collisions,
             "overflow_minted": self.overflow_minted,

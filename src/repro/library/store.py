@@ -1,31 +1,45 @@
 """Persistent NPN class library: canonical representatives + witness matching.
 
-A :class:`ClassLibrary` stores one entry per NPN signature class: a
-canonical representative truth table, the class size observed at build
-time, and the face/point characteristics of the representative.  The
-library closes the loop the bucketing engines leave open — a
+A :class:`ClassLibrary` stores one entry per NPN class: a canonical
+representative truth table, the class size observed at build time, and
+the face/point characteristics of the representative.  The library
+closes the loop the bucketing engines leave open — a
 :class:`~repro.core.classifier.ClassificationResult` groups functions
 without ever saying *which* class a bucket is or *how* a member maps onto
-it.  Here every class has a stable identity (``n{n}-{MSV digest}``) and
-:meth:`ClassLibrary.match` recovers an explicit
-:class:`~repro.core.transforms.NPNTransform` witness mapping the stored
-representative onto any queried function, via the signature-pruned
-matcher of :mod:`repro.baselines.matcher`.
+it.  Here every class has a stable identity and :meth:`ClassLibrary.match`
+recovers an explicit :class:`~repro.core.transforms.NPNTransform` witness
+mapping the stored representative onto any queried function, via the
+signature-pruned matcher of :mod:`repro.baselines.matcher`.
+
+Two id schemes exist:
+
+* ``"canonical"`` (the default, format version 2) — every representative
+  is the *exact orbit minimum* (:mod:`repro.canonical.form`) and the id
+  is ``n{n}-c{hex}`` where the hex **is** the representative.  Ids are a
+  pure function of the orbit: injective (no collisions, ever), identical
+  across machines and build orders, so libraries merge by id safely.
+* ``"digest"`` (legacy, format version 1) — ids are ``n{n}-{MSV digest}``
+  with ``-1``, ``-2`` … overflow slots for digest-colliding orbits.
+  Still fully readable and writable (byte-identical to pre-canonical
+  artifacts) so existing libraries keep loading; new libraries should
+  not use it.
 
 Persistence is a directory holding two files:
 
-* ``manifest.json`` — format name, format version, MSV parts and the
-  per-class metadata (id, arity, size, representative hex, satisfy
-  count, influence vector);
+* ``manifest.json`` — format name, format version, id scheme (version
+  2), MSV parts and the per-class metadata (id, arity, size,
+  representative hex, satisfy count, influence vector);
 * ``classes.npz`` — the representatives as packed little-endian
   ``uint64`` words plus the size/arity arrays, in manifest order.
 
 Both files are written deterministically (sorted classes, fixed zip
 timestamps), so rebuilding the same corpus yields byte-identical
 artifacts — the property the regression suite pins.  :meth:`ClassLibrary.load`
-cross-checks the two files against each other and recomputes every class
-id from its representative's signature, so corruption or a format drift
-fails loudly instead of producing garbage matches.
+cross-checks the two files against each other and re-verifies every
+class id against its representative (signature recomputation for the
+digest scheme, canonical-form recomputation for the canonical scheme),
+so corruption or a format drift fails loudly instead of producing
+garbage matches.
 """
 
 from __future__ import annotations
@@ -38,12 +52,20 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baselines.matcher import find_npn_transforms_grouped
+from repro.baselines.matcher import find_npn_transform, find_npn_transforms_grouped
+from repro.canonical.form import (
+    canonical_class_id,
+    canonical_form,
+    canonical_forms,
+    parse_canonical_class_id,
+)
 from repro.core import bitops
 from repro.core import characteristics as chars
 from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv, normalize_parts
 from repro.core.transforms import NPNTransform
 from repro.core.truth_table import TruthTable
+from repro.kernels.gather import MAX_KERNEL_VARS
+from repro.kernels.ops import canonical_min
 
 __all__ = [
     "ClassLibrary",
@@ -54,12 +76,21 @@ __all__ = [
     "overflow_successor",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "DIGEST_FORMAT_VERSION",
+    "ID_SCHEMES",
     "MANIFEST_FILE",
     "TABLES_FILE",
 ]
 
 FORMAT_NAME = "repro-npn-class-library"
-FORMAT_VERSION = 1
+#: Current format: canonical-scheme manifests carrying an ``id_scheme``.
+FORMAT_VERSION = 2
+#: Legacy format: digest-scheme manifests with no ``id_scheme`` field.
+#: Digest-scheme saves still emit this version so pre-canonical builds
+#: and readers keep working byte-for-byte.
+DIGEST_FORMAT_VERSION = 1
+#: Class-identity schemes a library can use (see module docstring).
+ID_SCHEMES = ("canonical", "digest")
 MANIFEST_FILE = "manifest.json"
 TABLES_FILE = "classes.npz"
 
@@ -69,13 +100,17 @@ class LibraryFormatError(ValueError):
 
 
 def overflow_successor(class_id: str) -> str:
-    """The next overflow slot after ``class_id``.
+    """The next overflow slot after ``class_id`` (digest scheme only).
 
     Signature digests are sound but not injective: two NPN-inequivalent
     orbits can share an MSV digest.  The second orbit cannot live under
     the base id ``n{n}-{digest}``, so it is minted into the first free
     *overflow slot* ``n{n}-{digest}-1``, ``-2``, … — and matching probes
     the slots in this same order, so the chain is always contiguous.
+
+    The canonical id scheme makes all of this unnecessary — ids embed
+    the exact representative, so two orbits can never collide; overflow
+    slots survive only for legacy digest-scheme libraries.
 
     >>> overflow_successor("n6-0123456789abcdef")
     'n6-0123456789abcdef-1'
@@ -104,16 +139,35 @@ def class_id_matches(stored: str, derived: str) -> bool:
     return suffix.isdigit() and suffix[0] != "0"
 
 
+def _digest_base(class_id: str) -> str:
+    """Base digest id of a possibly-overflow digest-scheme id."""
+    head, _, tail = class_id.rpartition("-")
+    if "-" in head and tail.isdigit():
+        return head
+    return class_id
+
+
+def _digest_slot(class_id: str) -> int:
+    """Overflow slot number of a digest-scheme id (0 for the base)."""
+    head, _, tail = class_id.rpartition("-")
+    if "-" in head and tail.isdigit():
+        return int(tail)
+    return 0
+
+
 @dataclass(frozen=True)
 class NPNClassEntry:
     """One NPN class: identity, canonical representative, metadata.
 
     Attributes:
-        class_id: stable identity ``n{n}-{MSV digest}`` — a pure function
-            of the class signature, identical across builds and machines.
+        class_id: stable identity.  Canonical scheme: ``n{n}-c{hex}``, a
+            pure function of the orbit (the hex is the exact canonical
+            representative).  Digest scheme: ``n{n}-{MSV digest}`` plus
+            overflow slots, a pure function of the class signature.
         representative: the class's canonical truth table.  ``exact``
-            entries store the minimum table over the whole NPN orbit;
-            elected entries store the minimum *observed* member.
+            entries store the minimum table over the whole NPN orbit
+            (always, under the canonical scheme); elected entries store
+            the minimum *observed* member.
         size: number of functions classified into this class at build
             time (summed by :meth:`ClassLibrary.merged_with`).
         exact: True when the representative is the exhaustive orbit
@@ -183,10 +237,12 @@ class ClassLibrary:
     """Disk-backed collection of NPN classes with witness-producing lookup.
 
     Args:
-        parts: MSV part selection the library's class identities are
+        parts: MSV part selection the library's signature pre-filter is
             defined over.  Matching a query recomputes its MSV with the
             *same* parts, so a library only answers queries in the
             signature space it was built in.
+        id_scheme: ``"canonical"`` (default — exact orbit-minimum ids)
+            or ``"digest"`` (legacy MSV-digest ids with overflow slots).
 
     Example:
         >>> from repro.library import build_exhaustive_library
@@ -199,12 +255,22 @@ class ClassLibrary:
         True
     """
 
-    def __init__(self, parts=DEFAULT_PARTS) -> None:
+    def __init__(self, parts=DEFAULT_PARTS, id_scheme: str = "canonical") -> None:
+        if id_scheme not in ID_SCHEMES:
+            raise ValueError(
+                f"unknown id scheme {id_scheme!r}; known: {', '.join(ID_SCHEMES)}"
+            )
         self.parts = normalize_parts(parts)
+        self.id_scheme = id_scheme
         self.classes: dict[str, NPNClassEntry] = {}
         #: Directory the transform gather tables persist under (set by
         #: :meth:`save`/:meth:`load`); ``None`` keeps them memory-only.
         self.kernel_cache_dir: Path | None = None
+        #: Lazy signature-digest index: base digest id -> ordered list of
+        #: candidate class ids (the matching chain).  ``None`` until the
+        #: first :meth:`match_many`; kept incrementally by
+        #: :meth:`add_class`, dropped on wholesale mutation.
+        self._chains: dict[str, list[str]] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -249,13 +315,40 @@ class ClassLibrary:
     # Construction
     # ------------------------------------------------------------------
 
-    def class_id_of(self, signature: MixedSignature) -> str:
-        """The stable class identity for a signature."""
+    def base_id_of(self, signature: MixedSignature) -> str:
+        """The signature's digest bucket id ``n{n}-{digest}``.
+
+        Both schemes index their matching chains under this key: it is
+        the digest scheme's base class id, and the canonical scheme's
+        pre-filter bucket (several canonical classes may share it when
+        their orbits' signatures collide).
+        """
         if signature.parts != self.parts:
             raise ValueError(
                 f"signature parts {signature.parts} != library parts {self.parts}"
             )
         return f"n{signature.n}-{signature.digest()}"
+
+    def class_id_of(self, signature: MixedSignature) -> str:
+        """The stable class identity for a signature (digest scheme only).
+
+        Canonical-scheme ids derive from exact representatives, not
+        signatures — a signature maps to a *chain* of candidate classes
+        there, so this raises to stop silent misuse.
+        """
+        if self.id_scheme != "digest":
+            raise ValueError(
+                "canonical-scheme class ids derive from representatives, "
+                "not signatures; canonicalize the query instead "
+                "(repro.canonical.form.canonical_class_id)"
+            )
+        return self.base_id_of(signature)
+
+    def class_id_for(self, representative: TruthTable) -> str:
+        """The id the given *canonical* representative lives under."""
+        if self.id_scheme == "canonical":
+            return canonical_class_id(representative)
+        return self.base_id_of(compute_msv(representative, self.parts))
 
     def add_class(
         self,
@@ -263,60 +356,161 @@ class ClassLibrary:
         size: int,
         exact: bool,
         class_id: str | None = None,
+        canonical_rep: bool = False,
     ) -> NPNClassEntry:
         """Insert (or grow) the class of ``representative``.
 
-        The class identity is derived from the representative's own MSV —
-        legal because the MSV is an NPN invariant, so any member yields
-        the same id.  An existing entry absorbs the new size and keeps
-        the smaller representative.  An explicit ``class_id`` places the
-        entry in an overflow slot of its derived id (the online learner
-        minting a digest-colliding orbit); anything else raises.
+        Canonical scheme: the representative is canonicalized (exact
+        orbit minimum) unless ``canonical_rep`` asserts it already is —
+        the batched build and learn paths canonicalize up front and skip
+        the recompute — and the id *is* that form, so an explicit
+        ``class_id`` must equal it.  Entries are always ``exact``.
+
+        Digest scheme: the identity derives from the representative's
+        own MSV (legal because the MSV is an NPN invariant, so any
+        member yields the same id); an explicit ``class_id`` may place
+        the entry in an overflow slot of its derived id (the online
+        learner minting a digest-colliding orbit).  Anything else
+        raises.  An existing entry absorbs the new size and keeps the
+        smaller representative.
         """
-        derived = self.class_id_of(compute_msv(representative, self.parts))
-        if class_id is None:
-            class_id = derived
-        elif not class_id_matches(class_id, derived):
-            raise ValueError(
-                f"class id {class_id!r} is neither {derived!r} nor an "
-                f"overflow slot of it"
+        if self.id_scheme == "canonical":
+            rep = (
+                representative
+                if canonical_rep
+                else canonical_form(
+                    representative, cache_dir=self.kernel_cache_dir
+                )
             )
-        entry = NPNClassEntry.from_representative(
-            class_id, representative, size, exact
-        )
+            derived = canonical_class_id(rep)
+            if class_id is None:
+                class_id = derived
+            elif class_id != derived:
+                raise ValueError(
+                    f"class id {class_id!r} does not name the canonical "
+                    f"representative (expected {derived!r})"
+                )
+            entry = NPNClassEntry.from_representative(
+                class_id, rep, size, exact=True
+            )
+        else:
+            derived = self.class_id_of(compute_msv(representative, self.parts))
+            if class_id is None:
+                class_id = derived
+            elif not class_id_matches(class_id, derived):
+                raise ValueError(
+                    f"class id {class_id!r} is neither {derived!r} nor an "
+                    f"overflow slot of it"
+                )
+            entry = NPNClassEntry.from_representative(
+                class_id, representative, size, exact
+            )
         existing = self.classes.get(class_id)
         if existing is not None:
             entry = _merge_entries(existing, entry)
         self.classes[class_id] = entry
+        if existing is None and self._chains is not None:
+            self._chain_insert(entry)
         return entry
 
     def merged_with(self, other: "ClassLibrary") -> "ClassLibrary":
-        """Union of two libraries over the same MSV parts.
+        """Union of two libraries over the same MSV parts and id scheme.
 
         Shared classes sum their sizes and keep the lexicographically
         smaller representative (for exact entries both sides store the
         identical orbit minimum, so this is a no-op).
+
+        Digest-scheme reconciliation: two libraries that independently
+        minted overflow slots for *different* orbits can hold
+        NPN-inequivalent classes under the same id.  Colliding entries
+        with different representatives are therefore re-verified with
+        the matcher — equivalent ones merge, inequivalent ones are
+        re-slotted along the digest's overflow chain instead of being
+        silently fused.  Canonical-scheme ids embed the representative,
+        so equal ids always mean the same orbit and no matcher runs.
         """
         if other.parts != self.parts:
             raise ValueError(
                 f"cannot merge libraries with different MSV parts: "
                 f"{self.parts} vs {other.parts}"
             )
-        merged = ClassLibrary(self.parts)
+        if other.id_scheme != self.id_scheme:
+            raise ValueError(
+                f"cannot merge libraries with different id schemes: "
+                f"{self.id_scheme} vs {other.id_scheme} (resave one of "
+                f"them under the other's scheme first)"
+            )
+        merged = ClassLibrary(self.parts, self.id_scheme)
         merged.classes = dict(self.classes)
         for class_id, entry in other.classes.items():
             existing = merged.classes.get(class_id)
-            merged.classes[class_id] = (
-                entry if existing is None else _merge_entries(existing, entry)
-            )
+            if existing is None:
+                merged.classes[class_id] = entry
+            elif existing.representative == entry.representative:
+                merged.classes[class_id] = _merge_entries(existing, entry)
+            elif self.id_scheme == "canonical":
+                # Canonical ids embed the representative, so one id with
+                # two different tables means a corrupted side.
+                raise LibraryFormatError(
+                    f"class {class_id!r} carries two different canonical "
+                    f"representatives — one input library is corrupted"
+                )
+            elif (
+                find_npn_transform(
+                    existing.representative, entry.representative
+                )
+                is not None
+            ):
+                merged.classes[class_id] = _merge_entries(existing, entry)
+            else:
+                merged._reslot(entry)
         return merged
+
+    def _reslot(self, entry: NPNClassEntry) -> None:
+        """Place a digest-scheme entry in the first compatible chain slot.
+
+        Walks the overflow chain of the entry's *derived* base id: an
+        occupant proven NPN-equivalent absorbs it, the first free slot
+        receives it.  Used by :meth:`merged_with` when two libraries
+        minted the same overflow id for different orbits.
+        """
+        slot = self.class_id_of(
+            compute_msv(entry.representative, self.parts)
+        )
+        while True:
+            occupant = self.classes.get(slot)
+            if occupant is None:
+                self.classes[slot] = replace(entry, class_id=slot)
+                return
+            if (
+                occupant.representative == entry.representative
+                or find_npn_transform(
+                    occupant.representative, entry.representative
+                )
+                is not None
+            ):
+                self.classes[slot] = _merge_entries(
+                    occupant, replace(entry, class_id=slot)
+                )
+                return
+            slot = overflow_successor(slot)
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
 
     def lookup(self, tt: TruthTable) -> NPNClassEntry | None:
-        """The entry whose signature class contains ``tt`` (no witness)."""
+        """The entry of ``tt``'s class (no witness transform).
+
+        Canonical scheme: exact — ``tt`` is canonicalized and its orbit's
+        id looked up directly, so a hit is a guaranteed class membership
+        and a miss is a guaranteed absence.  Digest scheme: the entry
+        stored under ``tt``'s signature digest, which is necessary but
+        not sufficient for membership (use :meth:`match` for certainty).
+        """
+        if self.id_scheme == "canonical":
+            rep = canonical_form(tt, cache_dir=self.kernel_cache_dir)
+            return self.classes.get(canonical_class_id(rep))
         return self.classes.get(self.class_id_of(compute_msv(tt, self.parts)))
 
     def match(self, tt: TruthTable) -> LibraryMatch | None:
@@ -364,21 +558,23 @@ class ClassLibrary:
         if signatures is None:
             signatures = self._signature_engine().signatures(tts)
         out: list[LibraryMatch | None] = [None] * len(tts)
-        # Probe the overflow chain slot by slot: every query starts at
-        # its signature's base id; a query whose candidate proves
-        # NPN-inequivalent advances to the next overflow slot (if one
-        # exists) for another round.  Libraries without collisions — the
-        # overwhelmingly common case — finish in a single round with one
-        # grouped matcher call, exactly the pre-overflow behaviour.
-        active: dict[int, str] = {}
+        # Walk each query's candidate chain — the classes indexed under
+        # its signature digest — round by round: queries whose candidate
+        # proves NPN-inequivalent advance to the next chain position.
+        # Chains are overflow slots in slot order (digest scheme) or the
+        # canonical classes sharing the digest in id order (canonical
+        # scheme); either way, single-entry chains — the overwhelmingly
+        # common case — finish in one grouped matcher round.
+        chains = self._chain_index()
+        active: dict[int, tuple[list[str], int]] = {}
         for index, signature in enumerate(signatures):
-            base = self.class_id_of(signature)
-            if base in self.classes:
-                active[index] = base
+            chain = chains.get(self.base_id_of(signature))
+            if chain:
+                active[index] = (chain, 0)
         while active:
             groups: dict[str, list[int]] = {}
-            for index, class_id in active.items():
-                groups.setdefault(class_id, []).append(index)
+            for index, (chain, position) in active.items():
+                groups.setdefault(chain[position], []).append(index)
             group_entries = [self.classes[class_id] for class_id in groups]
             witness_rows = find_npn_transforms_grouped(
                 [
@@ -387,18 +583,70 @@ class ClassLibrary:
                 ],
                 cache_dir=self.kernel_cache_dir,
             )
-            active = {}
+            advanced: dict[int, tuple[list[str], int]] = {}
             for entry, indices, witnesses in zip(
                 group_entries, groups.values(), witness_rows
             ):
-                successor = overflow_successor(entry.class_id)
-                probe_on = successor in self.classes
                 for i, witness in zip(indices, witnesses):
                     if witness is not None:
                         out[i] = LibraryMatch(entry, witness)
-                    elif probe_on:
-                        active[i] = successor
+                    else:
+                        chain, position = active[i]
+                        if position + 1 < len(chain):
+                            advanced[i] = (chain, position + 1)
+            active = advanced
         return out
+
+    # ------------------------------------------------------------------
+    # Candidate-chain index
+    # ------------------------------------------------------------------
+
+    def _chain_index(self) -> dict[str, list[str]]:
+        """Base digest id -> ordered candidate class ids, built lazily.
+
+        Digest scheme: chains are read straight off the stored ids (base
+        first, then overflow slots in slot order).  Canonical scheme:
+        every representative's signature is recomputed — one vectorized
+        batch — to group the canonical classes under their digest
+        buckets, ordered by id (deterministic: the fixed-width hex sorts
+        numerically).
+        """
+        if self._chains is None:
+            chains: dict[str, list[str]] = {}
+            if self.id_scheme == "digest":
+                for class_id in self.classes:
+                    chains.setdefault(_digest_base(class_id), []).append(
+                        class_id
+                    )
+                for chain in chains.values():
+                    chain.sort(key=_digest_slot)
+            else:
+                entries = self.entries()
+                signatures = self._signature_engine().signatures(
+                    [e.representative for e in entries]
+                )
+                for entry, signature in zip(entries, signatures):
+                    chains.setdefault(self.base_id_of(signature), []).append(
+                        entry.class_id
+                    )
+            self._chains = chains
+        return self._chains
+
+    def _chain_insert(self, entry: NPNClassEntry) -> None:
+        """Incrementally index one new class (the learner's mint path)."""
+        if self._chains is None:
+            return
+        if self.id_scheme == "digest":
+            base = _digest_base(entry.class_id)
+            key = _digest_slot
+        else:
+            base = self.base_id_of(
+                compute_msv(entry.representative, self.parts)
+            )
+            key = None
+        chain = self._chains.setdefault(base, [])
+        chain.append(entry.class_id)
+        chain.sort(key=key)
 
     def _signature_engine(self):
         """Shared batched classifier for bulk signature computation."""
@@ -429,7 +677,14 @@ class ClassLibrary:
         entries = self.entries()
         manifest = {
             "format": FORMAT_NAME,
-            "version": FORMAT_VERSION,
+            # Digest-scheme libraries keep writing the legacy version-1
+            # manifest (no id_scheme field) so their artifacts stay
+            # byte-identical to pre-canonical builds.
+            "version": (
+                FORMAT_VERSION
+                if self.id_scheme == "canonical"
+                else DIGEST_FORMAT_VERSION
+            ),
             "parts": list(self.parts),
             "num_classes": len(entries),
             "num_functions": self.num_functions,
@@ -446,6 +701,8 @@ class ClassLibrary:
                 for e in entries
             ],
         }
+        if self.id_scheme == "canonical":
+            manifest["id_scheme"] = self.id_scheme
         (directory / MANIFEST_FILE).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )
@@ -480,12 +737,18 @@ class ClassLibrary:
     ) -> "ClassLibrary":
         """Read a saved library, validating format, version and integrity.
 
-        With ``verify`` (the default) every class id is recomputed from
-        its representative's signature and cross-checked against both
-        files, so a corrupted or hand-edited artifact raises
-        :class:`LibraryFormatError` instead of mis-matching queries.
-        Overflow ids (``n{n}-{digest}-{k}``, minted on signature-digest
-        collisions) pass the check when their base id matches.
+        Both manifest versions load: version 2 carries its ``id_scheme``
+        explicitly, version 1 (the pre-canonical format) is a digest
+        -scheme library — the migration path that keeps old artifacts
+        readable.  With ``verify`` (the default) every class id is
+        re-derived from its representative and cross-checked against
+        both files, so a corrupted or hand-edited artifact raises
+        :class:`LibraryFormatError` instead of mis-matching queries:
+        digest ids recompute the representative's signature (overflow
+        ids ``n{n}-{digest}-{k}`` pass when their base id matches),
+        canonical ids recompute the representative's exact canonical
+        form — batched per arity — and require the stored table to *be*
+        that form.
 
         ``mmap_mode="r"`` (or ``"c"``) memory-maps the ``classes.npz``
         table arrays instead of reading them into anonymous memory —
@@ -516,8 +779,17 @@ class ClassLibrary:
                 f"{directory}: manifest and {TABLES_FILE} disagree on the "
                 f"number of classes"
             )
+        if int(manifest["version"]) == DIGEST_FORMAT_VERSION:
+            id_scheme = "digest"
+        else:
+            id_scheme = manifest.get("id_scheme")
+            if id_scheme not in ID_SCHEMES:
+                raise LibraryFormatError(
+                    f"{directory}: version-{FORMAT_VERSION} manifest carries "
+                    f"unknown id scheme {id_scheme!r}"
+                )
         try:
-            library = cls(manifest["parts"])
+            library = cls(manifest["parts"], id_scheme)
         except (ValueError, TypeError) as exc:
             raise LibraryFormatError(
                 f"{directory}: manifest parts are invalid: {exc}"
@@ -534,19 +806,31 @@ class ClassLibrary:
             )
             _check_record(directory, record, entry)
             if verify:
-                derived = library.class_id_of(compute_msv(rep, library.parts))
-                if not class_id_matches(entry.class_id, derived):
-                    raise LibraryFormatError(
-                        f"{directory}: class {entry.class_id!r} fails its "
-                        f"signature check (recomputed {derived!r}) — the "
-                        f"artifact is corrupted or was produced by an "
-                        f"incompatible signature implementation"
+                if id_scheme == "canonical":
+                    if parse_canonical_class_id(entry.class_id) != rep:
+                        raise LibraryFormatError(
+                            f"{directory}: class {entry.class_id!r} does not "
+                            f"name its stored representative "
+                            f"{rep.to_hex()!r} — the artifact is corrupted"
+                        )
+                else:
+                    derived = library.class_id_of(
+                        compute_msv(rep, library.parts)
                     )
+                    if not class_id_matches(entry.class_id, derived):
+                        raise LibraryFormatError(
+                            f"{directory}: class {entry.class_id!r} fails its "
+                            f"signature check (recomputed {derived!r}) — the "
+                            f"artifact is corrupted or was produced by an "
+                            f"incompatible signature implementation"
+                        )
             if entry.class_id in library.classes:
                 raise LibraryFormatError(
                     f"{directory}: duplicate class id {entry.class_id!r}"
                 )
             library.classes[entry.class_id] = entry
+        if verify and id_scheme == "canonical":
+            _verify_canonical_reps(directory, library)
         library.kernel_cache_dir = directory / "kernels"
         return library
 
@@ -555,6 +839,43 @@ def _merge_entries(a: NPNClassEntry, b: NPNClassEntry) -> NPNClassEntry:
     """Combine two entries of the same class id: sum sizes, min rep."""
     base = a if (a.representative, not a.exact) <= (b.representative, not b.exact) else b
     return replace(base, size=a.size + b.size)
+
+
+def _verify_canonical_reps(directory: Path, library: ClassLibrary) -> None:
+    """Check every stored representative is its own canonical form.
+
+    The per-record check already ties each id to its table; this ties
+    the table to the *orbit* — a tampered representative cannot smuggle
+    a wrong table in under a self-consistent id.  Arities the kernels
+    serve verify as one batched ``canonical_min`` per arity; larger ones
+    go through the scalar canonicalizer.
+    """
+    by_arity: dict[int, list[NPNClassEntry]] = {}
+    for entry in library.classes.values():
+        by_arity.setdefault(entry.n, []).append(entry)
+    for n, entries in sorted(by_arity.items()):
+        if n <= MAX_KERNEL_VARS:
+            minima = canonical_min(
+                [e.representative.bits for e in entries], n
+            )
+            bad = [
+                e
+                for e, low in zip(entries, minima)
+                if e.representative.bits != int(low)
+            ]
+        else:
+            bad = [
+                e
+                for e in entries
+                if canonical_form(e.representative) != e.representative
+            ]
+        if bad:
+            raise LibraryFormatError(
+                f"{directory}: class {bad[0].class_id!r} stores a "
+                f"non-canonical representative (not its orbit minimum) — "
+                f"the artifact is corrupted or was produced by an "
+                f"incompatible canonicalizer"
+            )
 
 
 def _read_manifest(path: Path) -> dict:
@@ -570,10 +891,11 @@ def _read_manifest(path: Path) -> dict:
             f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})"
         )
     version = manifest.get("version")
-    if version != FORMAT_VERSION:
+    if version not in (DIGEST_FORMAT_VERSION, FORMAT_VERSION):
         raise LibraryFormatError(
             f"{path}: unsupported library format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {DIGEST_FORMAT_VERSION} "
+            f"and {FORMAT_VERSION})"
         )
     for field in ("parts", "num_classes", "classes"):
         if field not in manifest:

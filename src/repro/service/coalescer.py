@@ -40,6 +40,7 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.canonical.form import canonical_class_id, canonical_forms
 from repro.core.msv import compute_msv
 from repro.core.truth_table import TruthTable
 from repro.engine import make_classifier
@@ -303,8 +304,10 @@ class Coalescer:
 
         One vectorized signature pass over every table in the batch —
         mixed arities allowed — then per-request resolution: ``classify``
-        reads its class id straight off the signature, ``match`` runs the
-        witness search via :meth:`ClassLibrary.match_many`.
+        resolves ids through :meth:`_classify_ids` (signature digest or
+        batched exact canonicalization, per the library's id scheme),
+        ``match`` runs the witness search via
+        :meth:`ClassLibrary.match_many`.
         """
         tables = [p.table for p in batch]
         signatures = self.classifier.signatures(tables)
@@ -314,6 +317,16 @@ class Coalescer:
             signatures=[signatures[i] for i in match_indices],
         )
         by_index = dict(zip(match_indices, matches))
+        classify_indices = [i for i, p in enumerate(batch) if p.op != "match"]
+        class_ids = dict(
+            zip(
+                classify_indices,
+                self._classify_ids(
+                    [tables[i] for i in classify_indices],
+                    [signatures[i] for i in classify_indices],
+                ),
+            )
+        )
         results = []
         for index, pending in enumerate(batch):
             if pending.op == "match":
@@ -330,9 +343,35 @@ class Coalescer:
                         self.metrics.record_minted()
                 results.append((outcome, False))
             else:  # classify
-                class_id = self.library.class_id_of(signatures[index])
+                class_id = class_ids[index]
                 results.append((class_id, class_id in self.library.classes))
         return results
+
+    def _classify_ids(self, tables: list, signatures: list) -> list[str]:
+        """Class ids of the batch's ``classify`` requests, scheme-aware.
+
+        Digest-scheme libraries read the id straight off the signature.
+        Canonical-scheme ids are a function of the orbit, not the
+        signature, so the tables are exact-canonicalized — batched per
+        arity through the same kernels the engines use.
+        """
+        if not tables:
+            return []
+        if self.library.id_scheme != "canonical":
+            return [self.library.class_id_of(s) for s in signatures]
+        out: list[str | None] = [None] * len(tables)
+        by_arity: dict[int, list[int]] = {}
+        for index, table in enumerate(tables):
+            by_arity.setdefault(table.n, []).append(index)
+        for n, indices in by_arity.items():
+            forms = canonical_forms(
+                [tables[i] for i in indices],
+                n,
+                cache_dir=self.library.kernel_cache_dir,
+            )
+            for i, rep in zip(indices, forms):
+                out[i] = canonical_class_id(rep)
+        return out  # type: ignore[return-value]
 
     def _publish(self, batch: list, results: list) -> None:
         """Fan results back out to futures; feed the match cache."""
@@ -349,7 +388,12 @@ class Coalescer:
 
     def classify_offline(self, table: TruthTable) -> tuple[str, bool]:
         """The classify answer without going through a batch (for tests)."""
-        class_id = self.library.class_id_of(compute_msv(table, self.library.parts))
+        if self.library.id_scheme == "canonical":
+            class_id = self._classify_ids([table], [None])[0]
+        else:
+            class_id = self.library.class_id_of(
+                compute_msv(table, self.library.parts)
+            )
         return class_id, class_id in self.library.classes
 
     def stats_snapshot(self) -> dict:

@@ -1,0 +1,154 @@
+"""Exactness of the canonical form: parity with the enumeration oracle.
+
+One rule at every arity — the canonical representative is the orbit
+minimum.  The kernel path (n <= 6) and the influence-guided scalar
+search must both be byte-identical to
+:func:`repro.baselines.exact_enum.exact_npn_canonical`:
+
+* exhaustively at n <= 3 (every one of the 2^(2^n) functions, both
+  paths);
+* over the full n = 4 space via the batched kernel (unique canonical
+  forms must count exactly the 222 classical NPN classes), with a
+  strided oracle slice;
+* on random samples at n = 4..5 for the scalar path;
+* at n = 7 (beyond the kernels) via orbit invariance + witness checks,
+  where no enumeration oracle is feasible.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.exact_enum import exact_npn_canonical
+from repro.baselines.matcher import find_npn_transform
+from repro.canonical.form import (
+    canonical_class_id,
+    canonical_form,
+    canonical_forms,
+    influence_canonical_scalar,
+    parse_canonical_class_id,
+)
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+
+#: NPN class counts over all n-variable functions (OEIS A000370).
+KNOWN_NPN_CLASSES = {0: 1, 1: 2, 2: 4, 3: 14, 4: 222}
+
+
+class TestSmallArityParity:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive_scalar_and_kernel_match_oracle(self, n):
+        tables = [TruthTable(n, bits) for bits in range(1 << (1 << n))]
+        kernel = canonical_forms(tables, n)
+        for tt, via_kernel in zip(tables, kernel):
+            oracle = exact_npn_canonical(tt).representative
+            assert via_kernel == oracle
+            assert influence_canonical_scalar(tt) == oracle
+
+    def test_exhaustive_n3_class_count(self):
+        tables = [TruthTable(3, bits) for bits in range(256)]
+        forms = canonical_forms(tables, 3)
+        assert len(set(forms)) == KNOWN_NPN_CLASSES[3]
+
+    def test_full_n4_space_has_222_classes(self):
+        forms = canonical_forms(range(1 << 16), 4)
+        assert len(set(forms)) == KNOWN_NPN_CLASSES[4]
+        # Idempotence over the whole space: a canonical form is its own
+        # canonical form.
+        unique = sorted({form.bits for form in forms})
+        again = canonical_forms(unique, 4)
+        assert [form.bits for form in again] == unique
+
+    def test_strided_n4_oracle_slice(self):
+        for bits in range(0, 1 << 16, 257):
+            tt = TruthTable(4, bits)
+            assert (
+                canonical_form(tt)
+                == exact_npn_canonical(tt).representative
+            )
+
+
+class TestScalarSearch:
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_sampled_scalar_matches_kernel(self, n):
+        rng = random.Random(50 + n)
+        for _ in range(12):
+            tt = TruthTable.random(n, rng)
+            assert influence_canonical_scalar(tt) == canonical_form(tt)
+
+    def test_stats_counters_accumulate(self):
+        stats: dict = {}
+        tt = TruthTable.random(5, random.Random(51))
+        influence_canonical_scalar(tt, stats=stats)
+        assert stats["permutations"] == 2 * 120  # both output phases
+        assert stats["phase_candidates"] == 2 * 120 * 32
+        assert 0 < stats["phases_materialized"] <= stats["phase_candidates"]
+
+    def test_n7_top_word_bound_prunes(self):
+        # Beyond the kernels: the incumbent's most-significant word must
+        # reject almost every phase candidate without materializing it.
+        stats: dict = {}
+        tt = TruthTable.random(7, random.Random(52))
+        rep = influence_canonical_scalar(tt, stats=stats)
+        assert stats["phases_materialized"] < stats["phase_candidates"] // 100
+        # Membership + minimality evidence: the rep is in the orbit and
+        # no smaller than any sampled orbit member.
+        assert find_npn_transform(tt, rep) is not None
+        assert rep.bits <= tt.bits
+
+    def test_n7_orbit_invariance(self):
+        rng = random.Random(53)
+        tt = TruthTable.random(7, rng)
+        rep = canonical_form(tt)
+        image = tt.apply(random_transform(7, rng))
+        assert canonical_form(image) == rep
+
+    def test_n0_constant_orbit(self):
+        assert influence_canonical_scalar(TruthTable(0, 1)) == TruthTable(0, 0)
+        assert canonical_form(TruthTable(0, 0)) == TruthTable(0, 0)
+
+
+class TestBatchApi:
+    def test_empty_batch(self):
+        assert canonical_forms([], 5) == []
+
+    def test_mixed_arities_rejected(self):
+        with pytest.raises(ValueError, match="mixed arities"):
+            canonical_forms([TruthTable(3, 1), TruthTable(4, 1)])
+
+    def test_raw_ints_need_n(self):
+        with pytest.raises(ValueError, match="pass n"):
+            canonical_forms([1, 2, 3])
+
+    def test_scalar_batch_dedups_by_bits(self):
+        tt = TruthTable.random(7, random.Random(54))
+        forms = canonical_forms([tt, tt, tt])
+        assert forms[0] == forms[1] == forms[2]
+
+
+class TestClassIds:
+    def test_id_is_pure_function_of_rep(self):
+        rep = canonical_form(TruthTable.majority(3))
+        assert canonical_class_id(rep) == "n3-c17"
+
+    def test_roundtrip(self):
+        rng = random.Random(55)
+        for n in (3, 5, 7):
+            rep = canonical_form(TruthTable.random(n, rng))
+            class_id = canonical_class_id(rep)
+            assert parse_canonical_class_id(class_id) == rep
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "n5-0011223344556677",  # digest id, no -c marker
+            "n5-0011223344556677-1",  # digest overflow slot
+            "x5-c17",  # head is not n<int>
+            "n5-c",  # empty payload
+            "n5-czz",  # non-hex payload
+            "nx-c17",  # non-integer arity
+            "",
+        ],
+    )
+    def test_malformed_ids_parse_to_none(self, bad):
+        assert parse_canonical_class_id(bad) is None

@@ -1,0 +1,101 @@
+"""Influence vectors and the influence-sorted permutation order.
+
+The ordering layer must be a pure *search order*: every permutation of
+the group appears exactly once, the order is deterministic, and the
+promising (non-decreasing-arrangement) candidates genuinely come first.
+Exactness of the canonicalizer never depends on any of this — these
+tests pin the ordering contract on its own.
+"""
+
+import itertools
+import random
+
+from repro.canonical.influence import (
+    arrangement_of,
+    candidate_permutations,
+    influence_vector,
+)
+from repro.core.characteristics import influences
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+
+
+def _non_decreasing(values):
+    return all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestInfluenceVector:
+    def test_matches_core_characteristics(self):
+        rng = random.Random(1)
+        for n in (3, 4, 5):
+            for _ in range(10):
+                tt = TruthTable.random(n, rng)
+                assert influence_vector(tt) == influences(tt)
+
+    def test_multiset_is_npn_invariant(self):
+        rng = random.Random(2)
+        for n in (3, 4, 5):
+            tt = TruthTable.random(n, rng)
+            reference = sorted(influence_vector(tt))
+            for _ in range(8):
+                image = tt.apply(random_transform(n, rng))
+                assert sorted(influence_vector(image)) == reference
+
+
+class TestArrangement:
+    def test_relabeling_semantics(self):
+        # g = f o perm maps f's variable i to g's variable perm[i], so
+        # the arrangement reads f's influence i at position perm[i].
+        infl = (5, 1, 3)
+        perm = (2, 0, 1)
+        arranged = arrangement_of(infl, perm)
+        for i, target in enumerate(perm):
+            assert arranged[target] == infl[i]
+
+    def test_arrangement_agrees_with_actual_permute(self):
+        rng = random.Random(3)
+        for n in (3, 4):
+            tt = TruthTable.random(n, rng)
+            infl = influence_vector(tt)
+            for perm in itertools.permutations(range(n)):
+                assert arrangement_of(infl, perm) == influence_vector(
+                    tt.permute(perm)
+                )
+
+
+class TestCandidateOrder:
+    def test_full_group_exactly_once(self):
+        for infl in ((2, 2, 2), (0, 1, 2), (4, 4, 0, 2)):
+            perms = candidate_permutations(infl)
+            n = len(infl)
+            assert sorted(perms) == sorted(itertools.permutations(range(n)))
+
+    def test_first_candidate_sorts_influence_non_decreasing(self):
+        rng = random.Random(4)
+        for n in (3, 4, 5):
+            infl = influence_vector(TruthTable.random(n, rng))
+            first = candidate_permutations(infl)[0]
+            assert arrangement_of(infl, first) == tuple(sorted(infl))
+
+    def test_non_decreasing_block_is_a_prefix(self):
+        infl = (3, 1, 2, 1)
+        flags = [
+            _non_decreasing(arrangement_of(infl, perm))
+            for perm in candidate_permutations(infl)
+        ]
+        # Once a non-monotone arrangement appears, no monotone one follows.
+        assert flags == sorted(flags, reverse=True)
+
+    def test_order_is_deterministic(self):
+        infl = (7, 0, 7, 3)
+        assert candidate_permutations(infl) == candidate_permutations(
+            tuple(infl)
+        )
+
+    def test_numpy_influences_normalize(self):
+        import numpy as np
+
+        infl = tuple(np.array([2, 2, 2], dtype=np.int64))
+        assert candidate_permutations(infl) == candidate_permutations(
+            (2, 2, 2)
+        )

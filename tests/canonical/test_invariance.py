@@ -1,0 +1,32 @@
+"""Hypothesis: the canonical form is constant on every NPN orbit.
+
+``canonical_form`` must be a *function of the orbit*: applying any NPN
+transform to the input must not change the output, at the arities the
+library actually serves (n = 5..6, where the scalar/kernel split and
+the influence ordering both matter).  Images are built through
+``TruthTable`` primitives — not the transform algebra — mirroring
+:mod:`tests.properties.test_npn_invariance`.
+"""
+
+from hypothesis import given, settings
+
+from repro.canonical.form import canonical_class_id, canonical_form
+from tests.strategies import npn_orbits
+
+
+@settings(max_examples=40, deadline=None)
+@given(orbit=npn_orbits(min_n=5, max_n=6, max_images=3))
+def test_canonical_form_is_orbit_invariant(orbit):
+    seed_function, images = orbit
+    rep = canonical_form(seed_function)
+    for image in images:
+        assert canonical_form(image) == rep
+
+
+@settings(max_examples=25, deadline=None)
+@given(orbit=npn_orbits(min_n=5, max_n=6, max_images=2))
+def test_class_id_is_orbit_invariant(orbit):
+    seed_function, images = orbit
+    class_id = canonical_class_id(canonical_form(seed_function))
+    for image in images:
+        assert canonical_class_id(canonical_form(image)) == class_id

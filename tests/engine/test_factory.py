@@ -20,12 +20,15 @@ from repro.engine import (
 
 class TestMakeClassifier:
     def test_engine_names_cover_all_engines(self):
-        assert ENGINE_NAMES == ("perfn", "batched", "sharded")
+        assert ENGINE_NAMES == ("perfn", "batched", "sharded", "canonical")
 
     def test_each_name_builds_its_engine(self):
+        from repro.canonical.engine import CanonicalClassifier
+
         assert isinstance(make_classifier("perfn"), FacePointClassifier)
         assert isinstance(make_classifier("batched"), BatchedClassifier)
         assert isinstance(make_classifier("sharded"), ShardedClassifier)
+        assert isinstance(make_classifier("canonical"), CanonicalClassifier)
 
     def test_default_is_batched(self):
         assert isinstance(make_classifier(), BatchedClassifier)

@@ -311,3 +311,64 @@ class TestCrashCleanup:
         assert returncode == -signal.SIGTERM
         # ...after unlinking the arena it owned.
         assert not (DEV_SHM / name).exists()
+
+
+class TestCreateFailureWindow:
+    """Pinned regression: no orphan between shm_open and registration.
+
+    ``SharedMemory.__init__`` does *not* unlink the file it just created
+    when a later step (ftruncate/mmap) dies, and historically the window
+    between a successful constructor and the ``_LIVE`` registration could
+    likewise leak an unregistered segment.  Both halves of the try/finally
+    fix are pinned with injected failures.
+    """
+
+    @requires_dev_shm
+    def test_constructor_failure_leaves_no_orphan(self, monkeypatch):
+        """Constructor dies after shm_open: the file must be unlinked."""
+        from repro.engine import shm as shm_module
+
+        real = shm_module._shared_memory.SharedMemory
+        created = []
+
+        class DiesAfterCreate:
+            def __init__(self, name=None, create=False, size=0):
+                # Materialize the segment exactly like the real
+                # constructor would, then die the way an ENOMEM mmap
+                # does — after the file already exists on disk.
+                segment = real(name=name, create=create, size=size)
+                created.append(segment)
+                raise MemoryError("injected mmap failure")
+
+        monkeypatch.setattr(
+            shm_module._shared_memory, "SharedMemory", DiesAfterCreate
+        )
+        before = live_arena_names()
+        with pytest.raises(MemoryError, match="injected"):
+            ShmArena.create(4096)
+        (segment,) = created
+        try:
+            assert not (DEV_SHM / segment.name).exists()
+            assert live_arena_names() == before
+        finally:
+            # Drop our leaked handle (the file itself is already gone).
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+    @requires_dev_shm
+    def test_registration_failure_disposes_segment(self, monkeypatch):
+        """``_LIVE`` insert dies: the fresh segment must be disposed."""
+        from repro.engine import shm as shm_module
+
+        class RejectingDict(dict):
+            def __setitem__(self, key, value):
+                raise MemoryError("injected registry failure")
+
+        monkeypatch.setattr(shm_module, "_LIVE", RejectingDict())
+        shm_count = len(own_dev_shm_segments())
+        with pytest.raises(MemoryError, match="injected"):
+            ShmArena.create(4096)
+        assert len(own_dev_shm_segments()) == shm_count
+        assert live_arena_names() == []

@@ -119,7 +119,7 @@ class TestMatch:
         corpus = [
             s.apply(random_transform(5, rng)) for s in seeds for _ in range(3)
         ]
-        library = build_library(corpus)
+        library = build_library(corpus, id_scheme="digest")
         for seed_fn in seeds:
             query = seed_fn.apply(random_transform(5, rng))
             hit = library.match(query)
@@ -319,15 +319,15 @@ class TestPersistence:
         with pytest.raises(LibraryFormatError, match="disagrees"):
             ClassLibrary.load(tmp_path / "lib")
 
-    def test_tampered_table_words_fail_signature_check(self, lib3, tmp_path):
+    def test_tampered_table_words_fail_identity_check(self, lib3, tmp_path):
         """A rep swapped consistently in both files still fails the id check."""
         directory = tmp_path / "lib"
         lib3.save(directory)
         with np.load(directory / TABLES_FILE) as data:
             arrays = {name: data[name].copy() for name in data.files}
         # Swap class 0's representative for class 1's: both files stay
-        # mutually consistent, but the stored id no longer matches the
-        # representative's recomputed signature.
+        # mutually consistent, but the stored id no longer names the
+        # representative it now carries.
         arrays["reps"][0] = arrays["reps"][1]
         _write_raw_npz(directory / TABLES_FILE, arrays)
         _edit_manifest(
@@ -336,7 +336,7 @@ class TestPersistence:
                 representative=m["classes"][1]["representative"]
             ),
         )
-        with pytest.raises(LibraryFormatError, match="signature check"):
+        with pytest.raises(LibraryFormatError, match="does not name"):
             ClassLibrary.load(directory)
         # Without verification the corruption goes through — the flag
         # exists for trusted artifacts only.
@@ -367,3 +367,71 @@ def _write_raw_npz(path, arrays) -> None:
         for name, array in arrays.items():
             with archive.open(f"{name}.npy", "w") as handle:
                 np.lib.format.write_array(handle, array)
+
+
+class TestIdSchemePersistence:
+    """Canonical artifacts are version 2; legacy digest stays version 1."""
+
+    def test_canonical_round_trip_is_version_2(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        manifest = json.loads((tmp_path / "lib" / MANIFEST_FILE).read_text())
+        assert manifest["version"] == 2
+        assert manifest["id_scheme"] == "canonical"
+        loaded = ClassLibrary.load(tmp_path / "lib")
+        assert loaded.id_scheme == "canonical"
+        assert {e.class_id for e in loaded.entries()} == {
+            e.class_id for e in lib3.entries()
+        }
+
+    def test_legacy_digest_artifact_stays_version_1(self, tmp_path):
+        library = build_exhaustive_library(3, id_scheme="digest")
+        library.save(tmp_path / "lib")
+        manifest = json.loads((tmp_path / "lib" / MANIFEST_FILE).read_text())
+        # Byte-compatible with pre-canonical writers: same version, no
+        # id_scheme key.
+        assert manifest["version"] == 1
+        assert "id_scheme" not in manifest
+        loaded = ClassLibrary.load(tmp_path / "lib")
+        assert loaded.id_scheme == "digest"
+        assert loaded.num_classes == library.num_classes
+
+    def test_v2_manifest_with_unknown_scheme_rejected(self, lib3, tmp_path):
+        lib3.save(tmp_path / "lib")
+        _edit_manifest(
+            tmp_path / "lib", lambda m: m.update(id_scheme="garbage")
+        )
+        with pytest.raises(LibraryFormatError, match="id scheme"):
+            ClassLibrary.load(tmp_path / "lib")
+
+    def test_cross_scheme_merge_rejected(self, lib3):
+        digest_library = build_exhaustive_library(3, id_scheme="digest")
+        with pytest.raises(ValueError, match="id schemes"):
+            lib3.merged_with(digest_library)
+
+    def test_load_rejects_non_minimum_canonical_rep(self, lib3, tmp_path):
+        # Consistent tamper: replace one rep with a *non-minimum* orbit
+        # member and rewrite its id to name the impostor.  The per-row id
+        # check passes by construction; only the orbit-minimum
+        # verification pass can catch it.
+        directory = tmp_path / "lib"
+        lib3.save(directory)
+        victim = next(
+            e for e in lib3.entries() if e.representative != ~e.representative
+        )
+        impostor = ~victim.representative  # same orbit, not the minimum
+        bogus_id = f"n{impostor.n}-c{impostor.to_hex()}"
+        with np.load(directory / TABLES_FILE) as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        row = [e.class_id for e in lib3.entries()].index(victim.class_id)
+        arrays["reps"][row][0] = impostor.bits
+        _write_raw_npz(directory / TABLES_FILE, arrays)
+
+        def tamper(manifest):
+            record = manifest["classes"][row]
+            record["id"] = bogus_id
+            record["representative"] = impostor.to_hex()
+
+        _edit_manifest(directory, tamper)
+        with pytest.raises(LibraryFormatError, match="non-canonical"):
+            ClassLibrary.load(directory)
+        ClassLibrary.load(directory, verify=False)  # trusted escape hatch

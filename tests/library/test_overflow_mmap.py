@@ -63,7 +63,7 @@ class TestOverflowIds:
             assert not class_id_matches(stored, derived), stored
 
     def test_add_class_rejects_foreign_explicit_id(self):
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         with pytest.raises(ValueError, match="overflow slot"):
             library.add_class(
                 TruthTable.majority(3),
@@ -93,7 +93,7 @@ def plant_collision(library: ClassLibrary, tt: TruthTable) -> str:
 
 class TestOverflowMatching:
     def test_match_probes_past_colliding_base_slot(self):
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         tt = TruthTable.random(5, random.Random(60))
         base = plant_collision(library, tt)
         library.add_class(tt, size=1, exact=False, class_id=f"{base}-1")
@@ -103,7 +103,7 @@ class TestOverflowMatching:
         assert hit.verify(tt)
 
     def test_match_probes_two_slots_deep(self):
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         tt = TruthTable.random(5, random.Random(61))
         base = plant_collision(library, tt)
         library.classes[f"{base}-1"] = NPNClassEntry.from_representative(
@@ -119,7 +119,7 @@ class TestOverflowMatching:
         assert hit.verify(tt)
 
     def test_npn_images_resolve_to_the_overflow_slot(self):
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         rng = random.Random(62)
         tt = TruthTable.random(5, rng)
         base = plant_collision(library, tt)
@@ -134,7 +134,7 @@ class TestOverflowMatching:
     def test_chain_end_is_still_a_clean_miss(self):
         # Base occupied, no overflow slot minted yet: the probe chain
         # ends and the query reports an honest miss.
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         tt = TruthTable.random(5, random.Random(63))
         plant_collision(library, tt)
         assert library.match(tt) is None
@@ -144,7 +144,7 @@ class TestOverflowPersistence:
     def test_overflow_id_survives_save_and_verified_load(self, tmp_path):
         # An overflow entry of an orbit whose base slot is also present
         # passes load's signature verification via the base-id match.
-        library = ClassLibrary()
+        library = ClassLibrary(id_scheme="digest")
         rng = random.Random(64)
         tt = TruthTable.random(5, rng)
         base = library.class_id_of(compute_msv(tt, library.parts))
@@ -156,7 +156,9 @@ class TestOverflowPersistence:
         assert set(loaded.classes) == {base, f"{base}-1"}
 
     def test_wal_replay_honours_overflow_record_ids(self, tmp_path):
-        learner = LearningLibrary.open(tmp_path, create=True)
+        learner = LearningLibrary.open(
+            tmp_path, create=True, id_scheme="digest"
+        )
         tt = TruthTable.random(5, random.Random(65))
         base = plant_collision(learner.library, tt)
         outcome = learner.learn(tt)
@@ -166,7 +168,9 @@ class TestOverflowPersistence:
         # Re-plant after reopening: the planted base entry was never a
         # WAL record, but the overflow record must still replay into its
         # recorded slot rather than being re-derived into the base slot.
-        reopened = LearningLibrary.open(tmp_path, create=True)
+        reopened = LearningLibrary.open(
+            tmp_path, create=True, id_scheme="digest"
+        )
         assert f"{base}-1" in reopened.library.classes
         plant_collision(reopened.library, tt)
         hit = reopened.library.match(tt)
@@ -187,8 +191,8 @@ class TestOverflowPersistence:
                     "exact": False,
                 }
             )
-        with pytest.raises(WalError, match="signature check"):
-            LearningLibrary.open(tmp_path, create=True)
+        with pytest.raises(WalError, match="identity check"):
+            LearningLibrary.open(tmp_path, create=True, id_scheme="digest")
 
 
 @pytest.fixture(scope="module")
@@ -235,3 +239,78 @@ class TestMmapLoad:
         assert _mmap_tables(tmp_path / TABLES_FILE, "r") is None
         loaded = ClassLibrary.load(tmp_path, mmap_mode="r")
         assert loaded.num_classes == library.num_classes
+
+
+class TestOverflowMergeReconciliation:
+    """Pinned regression: merge must re-verify colliding representatives.
+
+    Two digest libraries that independently minted the same overflow id
+    for *different* orbits used to fuse them silently on merge.  The fix
+    matcher-verifies every colliding entry and re-slots the loser along
+    its derived chain instead.
+    """
+
+    def test_inequivalent_colliding_entries_are_reslotted(self):
+        from repro.baselines.matcher import find_npn_transform
+
+        rng = random.Random(71)
+        tt_a = TruthTable.random(5, rng)
+        tt_b = TruthTable.random(5, rng)
+        assert find_npn_transform(tt_a, tt_b) is None
+
+        lib_a = ClassLibrary(id_scheme="digest")
+        base = plant_collision(lib_a, tt_a)
+        lib_a.add_class(tt_a, size=1, exact=False, class_id=f"{base}-1")
+
+        lib_b = ClassLibrary(id_scheme="digest")
+        plant_collision(lib_b, tt_a)  # identical planted base entry
+        # lib_b minted the same -1 slot for a different orbit.
+        lib_b.classes[f"{base}-1"] = NPNClassEntry.from_representative(
+            class_id=f"{base}-1",
+            representative=tt_b,
+            size=1,
+            exact=False,
+        )
+
+        merged = lib_a.merged_with(lib_b)
+        # Identical base entries fuse; the -1 slot keeps lib_a's orbit.
+        assert merged.classes[base].size == 2
+        assert merged.classes[f"{base}-1"].representative == lib_a.classes[
+            f"{base}-1"
+        ].representative
+        # lib_b's inequivalent entry is re-slotted under its own derived
+        # chain — never silently fused into tt_a's class.
+        derived_b = lib_b.class_id_of(compute_msv(tt_b, lib_b.parts))
+        assert merged.classes[derived_b].representative == tt_b
+        # Both orbits stay matchable after the merge.
+        hit_a = merged.match(tt_a)
+        assert hit_a is not None and hit_a.class_id == f"{base}-1"
+        hit_b = merged.match(tt_b)
+        assert hit_b is not None and hit_b.verify(tt_b)
+
+    def test_reslot_walks_past_occupied_derived_chain(self):
+        # The re-slotted entry's own derived base may be taken too: the
+        # walk continues to the first free slot of *that* chain.
+        rng = random.Random(72)
+        tt_a = TruthTable.random(5, rng)
+        tt_b = TruthTable.random(5, rng)
+
+        lib_a = ClassLibrary(id_scheme="digest")
+        base = plant_collision(lib_a, tt_a)
+        lib_a.add_class(tt_a, size=1, exact=False, class_id=f"{base}-1")
+        plant_collision(lib_a, tt_b)  # occupy tt_b's own base in lib_a
+
+        lib_b = ClassLibrary(id_scheme="digest")
+        plant_collision(lib_b, tt_a)
+        lib_b.classes[f"{base}-1"] = NPNClassEntry.from_representative(
+            class_id=f"{base}-1",
+            representative=tt_b,
+            size=1,
+            exact=False,
+        )
+
+        merged = lib_a.merged_with(lib_b)
+        derived_b = lib_b.class_id_of(compute_msv(tt_b, lib_b.parts))
+        assert merged.classes[f"{derived_b}-1"].representative == tt_b
+        hit_b = merged.match(tt_b)
+        assert hit_b is not None and hit_b.class_id == f"{derived_b}-1"

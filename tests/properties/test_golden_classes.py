@@ -99,3 +99,37 @@ class TestLibraryMatchPath:
             assert hit.representative.apply(hit.transform) == tt
             seen_classes.add(hit.class_id)
         assert len(seen_classes) == spec["num_classes"]
+
+
+class TestCanonicalEngineAgainstGolden:
+    """The exact engine must reproduce the golden class structure.
+
+    Its keys are canonical forms (not signatures), so the order-sensitive
+    bucket digest differs by construction — the pins here are the class
+    count, the member partition, and the portable ids.
+    """
+
+    def test_counts_and_partition_match(self, golden_case):
+        from repro.canonical.engine import CanonicalClassifier
+
+        spec, tables = golden_case
+        canonical = CanonicalClassifier().classify(tables)
+        reference = FacePointClassifier().classify(tables)
+        assert canonical.num_classes == spec["num_classes"]
+
+        def partition(result):
+            return sorted(
+                tuple(sorted(tt.bits for tt in members))
+                for members in result.groups.values()
+            )
+
+        assert partition(canonical) == partition(reference)
+
+    def test_library_ids_are_golden_canonical_ids(self, golden_case):
+        from repro.canonical.engine import CanonicalClassifier
+
+        spec, tables = golden_case
+        library = library_from_result(CanonicalClassifier().classify(tables))
+        assert {
+            e.class_id: e.representative.to_hex() for e in library.entries()
+        } == spec["classes"]
