@@ -1,0 +1,144 @@
+"""Bench: observability must cost <3% of coalesced service throughput.
+
+The acceptance contract of the observability layer (ISSUE 9): the
+instrumented hot path — metrics mirroring, per-request tracing, and the
+profiling hooks on the engine/library/canonical layers — may cost at
+most :data:`MAX_OVERHEAD_FRACTION` of coalesced ``match_many``
+throughput versus the same daemon with :func:`repro.obs.set_enabled`
+flipped off (every recording call early-returns on one flag read, and
+``Tracer.start`` returns ``None`` so no spans are taken).
+
+Methodology mirrors ``bench_service_throughput.py`` — a prebuilt
+library, one pipelined connection, cache disabled so every query walks
+the full engine path — measured as **paired ratios**: enabled and
+disabled run back-to-back (order alternating per pair) and the gate is
+the *median* of the per-pair ratios.  Pairing cancels the slow load
+drift of a shared runner (adjacent runs see similar machine state),
+alternation cancels order bias, and the median discards blip pairs —
+a plain best-of-N on each side flickered by more than the gate itself.
+
+Results go to ``results/obs_overhead.md`` (human) and
+``results/BENCH_obs.json`` (machine, for cross-PR tracking).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis.tables import write_markdown_table
+from repro.library import build_library
+from repro.service import ServiceClient, ThreadedService
+from repro.workloads import random_tables
+
+WORKLOAD_N = 6
+QUERY_COUNT = 2_000
+WORKLOAD_SEED = 2023
+
+#: Instrumentation may cost at most this fraction of throughput.
+MAX_OVERHEAD_FRACTION = 0.03
+
+#: Back-to-back (enabled, disabled) pairs; the gate is the median ratio.
+PAIRS = 7
+
+COALESCED_BATCH = 256
+COALESCED_WAIT_MS = 5.0
+
+
+@pytest.fixture(scope="module")
+def query_tables():
+    return random_tables(WORKLOAD_N, QUERY_COUNT, WORKLOAD_SEED)
+
+
+@pytest.fixture(scope="module")
+def served_library(query_tables):
+    """Built from the workload itself, so every query hits."""
+    return build_library(query_tables)
+
+
+def _serve_once(library, tables, enabled: bool) -> float:
+    """One daemon run with observability on/off; returns seconds."""
+    previous = obs.set_enabled(enabled)
+    try:
+        with ThreadedService(
+            library,
+            max_batch=COALESCED_BATCH,
+            max_wait_ms=COALESCED_WAIT_MS,
+            max_pending=4 * len(tables),
+            cache_size=0,  # no cache assists; every query walks the engine
+        ) as svc:
+            with ServiceClient(port=svc.port) as client:
+                t0 = time.perf_counter()
+                results = client.match_many(tables)
+                seconds = time.perf_counter() - t0
+        assert all(r["hit"] for r in results)
+        return seconds
+    finally:
+        obs.set_enabled(previous)
+
+
+def test_observability_overhead_under_threshold(
+    query_tables, served_library, results_dir, persist_bench
+):
+    """The acceptance gate: enabled costs <3% vs disabled, paired median."""
+    _serve_once(served_library, query_tables, True)  # warm-up, untimed
+    enabled_runs, disabled_runs, ratios = [], [], []
+    for pair_index in range(PAIRS):
+        order = (True, False) if pair_index % 2 == 0 else (False, True)
+        seconds = {
+            enabled: _serve_once(served_library, query_tables, enabled)
+            for enabled in order
+        }
+        enabled_runs.append(seconds[True])
+        disabled_runs.append(seconds[False])
+        ratios.append(seconds[True] / seconds[False])
+
+    overhead = statistics.median(ratios) - 1.0
+    enabled_seconds = min(enabled_runs)
+    disabled_seconds = min(disabled_runs)
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"observability costs {overhead:.1%} of coalesced throughput "
+        f"(median of {PAIRS} paired ratios; best {disabled_seconds:.3f}s "
+        f"off vs {enabled_seconds:.3f}s on); the gate is "
+        f"{MAX_OVERHEAD_FRACTION:.0%}"
+    )
+
+    rows = [
+        {
+            "observability": state,
+            "seconds": round(seconds, 4),
+            "queries_per_s": round(QUERY_COUNT / seconds),
+        }
+        for state, seconds in [
+            ("disabled (obs.set_enabled(False))", disabled_seconds),
+            ("enabled (default)", enabled_seconds),
+        ]
+    ]
+    write_markdown_table(
+        rows,
+        results_dir / "obs_overhead.md",
+        title=(
+            f"Observability overhead — {QUERY_COUNT} random {WORKLOAD_N}-var "
+            f"coalesced queries, {max(overhead, 0.0):.2%} overhead "
+            f"(gate {MAX_OVERHEAD_FRACTION:.0%})"
+        ),
+    )
+    persist_bench(
+        "obs",
+        {
+            "workload": {
+                "n": WORKLOAD_N,
+                "count": QUERY_COUNT,
+                "seed": WORKLOAD_SEED,
+            },
+            "pairs": PAIRS,
+            "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+            "enabled_seconds": round(enabled_seconds, 4),
+            "disabled_seconds": round(disabled_seconds, 4),
+            "pair_ratios": [round(r, 4) for r in ratios],
+            "overhead_fraction": round(overhead, 4),
+            "enabled_queries_per_s": round(QUERY_COUNT / enabled_seconds),
+            "disabled_queries_per_s": round(QUERY_COUNT / disabled_seconds),
+        },
+    )

@@ -26,6 +26,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.baselines.matcher import find_npn_transform
 from repro.canonical.form import canonical_class_id, canonical_forms
 from repro.core.classifier import ClassificationResult
@@ -40,6 +41,27 @@ __all__ = ["CanonicalClass", "CanonicalClassifier", "CanonicalStats"]
 #: Cache-key tag for canonical forms (shares the LRU key shape
 #: ``(bits, n, parts)`` with signatures without ever colliding).
 _FORM_PARTS = ("canonical-form",)
+
+_REG = obs.registry()
+_FUNCTIONS = _REG.counter(
+    "repro_canonical_functions_total",
+    "Functions classified by the canonical engine.",
+)
+_DECISIONS = _REG.counter(
+    "repro_canonical_decisions_total",
+    "How each structurally new function was decided: matcher (pruned) "
+    "vs. exact canonicalization.",
+    labels=("via",),
+)
+_MATCHER_CALLS = _REG.counter(
+    "repro_canonical_matcher_calls_total",
+    "Verified-matcher probes run inside signature buckets.",
+)
+_CANONICAL_SECONDS = _REG.histogram(
+    "repro_canonical_form_seconds",
+    "Wall-clock time of one batched exact-canonicalization call "
+    "(per arity batch).",
+)
 
 
 @dataclass(frozen=True)
@@ -174,10 +196,12 @@ class CanonicalClassifier:
             else:
                 misses.setdefault(tt.n, []).append((index, tt))
         for n, pending in misses.items():
-            reps = canonical_forms(
-                [tt for _, tt in pending], n, cache_dir=self.cache_dir
-            )
+            with obs.timed(_CANONICAL_SECONDS):
+                reps = canonical_forms(
+                    [tt for _, tt in pending], n, cache_dir=self.cache_dir
+                )
             self.stats.canonical_calls += len(pending)
+            _DECISIONS.inc(len(pending), via="canonical")
             for (index, tt), rep in zip(pending, reps):
                 self._forms.put((tt.bits, tt.n, _FORM_PARTS), rep)
                 out[index] = rep
@@ -204,6 +228,7 @@ class CanonicalClassifier:
             members = list(tables)
             signatures = self._batched.signatures(members)
         self.stats.functions += len(members)
+        _FUNCTIONS.inc(len(members))
 
         buckets: dict[MixedSignature, _Bucket] = {}
         firsts: list[TruthTable] = []  # first-seen member per new class
@@ -214,8 +239,10 @@ class CanonicalClassifier:
             if index is None:
                 for first, existing in bucket.classes:
                     self.stats.matcher_calls += 1
+                    _MATCHER_CALLS.inc()
                     if find_npn_transform(first, tt) is not None:
                         index = existing
+                        _DECISIONS.inc(via="matcher")
                         break
                 if index is None:
                     index = len(firsts)

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.canonical.influence import candidate_permutations, influence_vector
 from repro.core import bitops
 from repro.core.truth_table import TruthTable
@@ -38,6 +39,16 @@ __all__ = [
     "canonical_class_id",
     "parse_canonical_class_id",
 ]
+
+#: Registry mirror of the scalar search's per-call counters dict: how
+#: hard the incumbent-bounded search worked (``permutations`` tried,
+#: ``phase_candidates`` screened by top word, ``phases_materialized``
+#: fully built) — the pruned fraction is 1 - materialized/candidates.
+_SEARCH_STEPS = obs.registry().counter(
+    "repro_canonical_search_steps_total",
+    "Influence-aided scalar canonical search work, by step kind.",
+    labels=("kind",),
+)
 
 #: Soft cap on uint8 gather entries one scalar phase block materialises.
 _SCALAR_ENTRY_BUDGET = 1 << 22
@@ -161,6 +172,8 @@ def influence_canonical_scalar(
     if stats is not None:
         for key, value in counters.items():
             stats[key] = stats.get(key, 0) + value
+    for kind, value in counters.items():
+        _SEARCH_STEPS.inc(value, kind=kind)
     return TruthTable(n, best)
 
 

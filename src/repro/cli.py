@@ -216,6 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL durability: fsync every record, only on segment "
         "close (default), or never (requires --learn)",
     )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="requests slower than this end-to-end land in the "
+        "slow-request log (default 250; <= 0 disables the slow log)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace span detail for every N-th request "
+        "(default 8; 1 traces every request)",
+    )
 
     query = sub.add_parser(
         "query", help="query a running daemon (match | classify | stats | ping)"
@@ -239,6 +255,33 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument(
             "--addr", default="127.0.0.1:8355", help="daemon address host:port"
         )
+        if name == "stats":
+            q.add_argument(
+                "--prometheus",
+                action="store_true",
+                help="print the daemon's GET /metrics text exposition "
+                "instead of the JSON snapshot",
+            )
+    query_trace = query_sub.add_parser(
+        "trace", help="recent per-request traces from the daemon"
+    )
+    query_trace.add_argument(
+        "--addr", default="127.0.0.1:8355", help="daemon address host:port"
+    )
+    query_trace.add_argument(
+        "--limit", type=int, default=20, help="most recent traces to fetch"
+    )
+    query_trace.add_argument(
+        "--slow",
+        action="store_true",
+        help="show the slow-request ring instead of all recent traces",
+    )
+    query_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw /v1/trace/recent JSON instead of one line "
+        "per trace",
+    )
 
     cutmatch = sub.add_parser(
         "cutmatch",
@@ -778,6 +821,11 @@ def _cmd_serve(args) -> int:
         library = learner.library
     if library is None:
         return 2
+    from repro.service.server import DEFAULT_SLOW_MS, DEFAULT_TRACE_SAMPLE
+
+    if args.trace_sample is not None and args.trace_sample < 1:
+        print("--trace-sample must be >= 1", file=sys.stderr)
+        return 2
     service = ClassificationService(
         library,
         host=args.host,
@@ -788,6 +836,12 @@ def _cmd_serve(args) -> int:
         max_pending=args.max_pending,
         cache_size=args.cache_size,
         learner=learner,
+        slow_ms=DEFAULT_SLOW_MS if args.slow_ms is None else args.slow_ms,
+        trace_sample=(
+            DEFAULT_TRACE_SAMPLE
+            if args.trace_sample is None
+            else args.trace_sample
+        ),
     )
     try:
         asyncio.run(service.serve_forever())
@@ -800,6 +854,64 @@ def _cmd_query(args) -> int:
     import json as json_module
 
     from repro.service import ServiceClient, ServiceError
+    from repro.service.client import http_get
+
+    # HTTP-backed introspection commands: one-shot GETs, no NDJSON
+    # connection needed.
+    if args.query_command == "trace" or (
+        args.query_command == "stats" and args.prometheus
+    ):
+        try:
+            if args.query_command == "stats":
+                status, body = http_get(args.addr, "/metrics")
+                if status != 200:
+                    print(f"GET /metrics returned {status}", file=sys.stderr)
+                    return 2
+                print(body, end="")
+                return 0
+            status, body = http_get(
+                args.addr, f"/v1/trace/recent?limit={args.limit}"
+            )
+            if status != 200:
+                print(f"GET /v1/trace/recent returned {status}", file=sys.stderr)
+                return 2
+            payload = json_module.loads(body)
+            if args.json:
+                print(json_module.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            traces = payload["slow" if args.slow else "traces"]
+            tracer = payload.get("tracer", {})
+            print(
+                f"{len(traces)} trace(s) "
+                f"(finished={tracer.get('finished_total')}, "
+                f"slow={tracer.get('slow_total')}, "
+                f"slow_ms={tracer.get('slow_ms')})"
+            )
+            for trace in traces:
+                spans = " ".join(
+                    f"{span['name']}={span['duration_ms']:.2f}ms"
+                    for span in trace["spans"]
+                )
+                meta = trace.get("meta", {})
+                suffix = f"  {meta}" if meta else ""
+                print(
+                    f"{trace['trace_id']}  op={trace['op']:<9}"
+                    f"{trace['duration_ms']:9.2f}ms  {spans}{suffix}"
+                )
+            return 0
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except ServiceError as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(
+                f"cannot reach {args.addr}: {exc}\n"
+                f"(start a daemon with: repro-npn serve --library npn_library)",
+                file=sys.stderr,
+            )
+            return 2
 
     try:
         client = ServiceClient.from_address(args.addr)

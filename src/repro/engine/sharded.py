@@ -61,6 +61,7 @@ from multiprocessing import get_context
 
 import numpy as np
 
+from repro import obs
 from repro.core import bitops
 from repro.core.classifier import ClassificationResult
 from repro.core.msv import (
@@ -94,6 +95,34 @@ _OVERSUBSCRIBE = 4
 
 #: Upper bound on rows per shard task (bounds per-task buffer size).
 _MAX_SHARD_SIZE = 8192
+
+_REG = obs.registry()
+_DISPATCH_SECONDS = _REG.histogram(
+    "repro_sharded_dispatch_seconds",
+    "Per batch: building shard tasks and handing them to the pool "
+    "(shm: includes the arena write).",
+    labels=("transport",),
+)
+_GATHER_SECONDS = _REG.histogram(
+    "repro_sharded_gather_seconds",
+    "Per batch: collecting shard results and decoding them into keys "
+    "(shm: span coverage check + bulk result-region decode).",
+    labels=("transport",),
+)
+_SHARD_ROWS = _REG.counter(
+    "repro_sharded_rows_total",
+    "Rows dispatched through the sharded engine.",
+    labels=("transport",),
+)
+_SHARD_TASKS = _REG.counter(
+    "repro_sharded_shards_total",
+    "Shard tasks dispatched to the pool.",
+    labels=("transport",),
+)
+_ARENA_GROWS = _REG.counter(
+    "repro_shm_arena_grow_total",
+    "Pool arenas replaced by a larger one (growth events).",
+)
 
 
 def _classify_shard(task: tuple) -> list[tuple[int, tuple]]:
@@ -184,6 +213,7 @@ class _LazyPool:
         if self._arena is None or self._arena.capacity < nbytes:
             if self._arena is not None:
                 self._arena.dispose()
+                _ARENA_GROWS.inc()
             self._arena = ShmArena.create(nbytes)
         return self._arena
 
@@ -455,12 +485,16 @@ class ShardedClassifier:
         """Canonical keys of ``bits``, computed shard-parallel."""
         if pool is not None and self.transport == "shm":
             return self._sharded_keys_shm(n, bits, pool)
-        tasks = self._shard_tasks(n, bits)
-        if pool is None or len(tasks) == 1:
-            shard_results: Iterable = map(_classify_shard, tasks)
-        else:
-            shard_results = pool.get().map(_classify_shard, tasks)
-        return merge_shard_keys(shard_results, len(bits))
+        with obs.timed(_DISPATCH_SECONDS, transport="pickle"):
+            tasks = self._shard_tasks(n, bits)
+            if pool is None or len(tasks) == 1:
+                shard_results: Iterable = map(_classify_shard, tasks)
+            else:
+                shard_results = pool.get().map(_classify_shard, tasks)
+        _SHARD_ROWS.inc(len(bits), transport="pickle")
+        _SHARD_TASKS.inc(len(tasks), transport="pickle")
+        with obs.timed(_GATHER_SECONDS, transport="pickle"):
+            return merge_shard_keys(shard_results, len(bits))
 
     def _sharded_keys_shm(self, n: int, bits: list[int], pool) -> list[tuple]:
         """Shm-transport dispatch: one arena write, descriptor fan-out.
@@ -474,39 +508,48 @@ class ShardedClassifier:
         total = len(bits)
         words_w = bitops.words_per_table(n)
         codec = key_codec(n, self.parts)
-        arena = pool.arena(total * (words_w + codec.width) * 8)
-        payload = b"".join(
-            value.to_bytes(words_w * 8, "little") for value in bits
-        )
-        arena.shm.buf[: len(payload)] = payload
-        size = self._shard_rows(total)
-        tasks = [
-            (
-                arena.name,
-                n,
-                self.parts,
-                self.chunk_size,
-                base,
-                min(size, total - base),
-                total,
-                codec.width,
+        with obs.timed(_DISPATCH_SECONDS, transport="shm"):
+            arena = pool.arena(total * (words_w + codec.width) * 8)
+            payload = b"".join(
+                value.to_bytes(words_w * 8, "little") for value in bits
             )
-            for base in range(0, total, size)
-        ]
-        if len(tasks) == 1:
-            spans = [_classify_shard_shm(tasks[0])]
-        else:
-            executor = pool.get()
-            futures = [executor.submit(_classify_shard_shm, t) for t in tasks]
-            spans = [future.result() for future in as_completed(futures)]
-        check_span_coverage(spans, total)
-        flat = np.ndarray(
-            (total, codec.width),
-            dtype="<i8",
-            buffer=arena.shm.buf,
-            offset=total * words_w * 8,
-        ).tolist()
-        return [codec.unflatten(row) for row in flat]
+            arena.shm.buf[: len(payload)] = payload
+            size = self._shard_rows(total)
+            tasks = [
+                (
+                    arena.name,
+                    n,
+                    self.parts,
+                    self.chunk_size,
+                    base,
+                    min(size, total - base),
+                    total,
+                    codec.width,
+                )
+                for base in range(0, total, size)
+            ]
+            if len(tasks) == 1:
+                futures = None
+            else:
+                executor = pool.get()
+                futures = [
+                    executor.submit(_classify_shard_shm, t) for t in tasks
+                ]
+        _SHARD_ROWS.inc(total, transport="shm")
+        _SHARD_TASKS.inc(len(tasks), transport="shm")
+        with obs.timed(_GATHER_SECONDS, transport="shm"):
+            if futures is None:
+                spans = [_classify_shard_shm(tasks[0])]
+            else:
+                spans = [future.result() for future in as_completed(futures)]
+            check_span_coverage(spans, total)
+            flat = np.ndarray(
+                (total, codec.width),
+                dtype="<i8",
+                buffer=arena.shm.buf,
+                offset=total * words_w * 8,
+            ).tolist()
+            return [codec.unflatten(row) for row in flat]
 
     def _shard_rows(self, total: int) -> int:
         """Rows per shard task for a batch of ``total`` rows."""

@@ -62,6 +62,7 @@ except ImportError:  # pragma: no cover
     _shared_memory = None
     SHM_AVAILABLE = False
 
+from repro import obs
 from repro.core.msv import canonical_key, compute_pieces, normalize_parts
 from repro.core.truth_table import TruthTable
 
@@ -80,6 +81,18 @@ __all__ = [
 ARENA_PREFIX = "repro-shm-"
 
 _ARENA_SEQ = count()
+
+_REG = obs.registry()
+_ARENAS_CREATED = _REG.counter(
+    "repro_shm_arenas_created_total", "Shared-memory arenas created."
+)
+_ARENAS_DISPOSED = _REG.counter(
+    "repro_shm_arenas_disposed_total", "Shared-memory arenas unlinked."
+)
+_ARENA_LIVE_BYTES = _REG.gauge(
+    "repro_shm_arena_live_bytes",
+    "Bytes of shared-memory arena capacity currently owned by this process.",
+)
 
 #: Live arenas owned by *this* process: name -> (SharedMemory, owner pid).
 #: The pid guards forked children (pool workers inherit a copy of this
@@ -238,6 +251,8 @@ class ShmArena:
                 raise
             break
         _install_cleanup_hooks()
+        _ARENAS_CREATED.inc()
+        _ARENA_LIVE_BYTES.inc(shm.size)
         return cls(shm)
 
     def dispose(self) -> None:
@@ -246,6 +261,8 @@ class ShmArena:
         if entry is None:
             return
         _dispose_segment(entry[0])
+        _ARENAS_DISPOSED.inc()
+        _ARENA_LIVE_BYTES.dec(self.capacity)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ShmArena({self.name!r}, {self.capacity} bytes)"

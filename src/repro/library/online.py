@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.baselines.matcher import find_npn_transform
 from repro.canonical.form import canonical_class_id, canonical_form
 from repro.core.msv import DEFAULT_PARTS, MixedSignature, compute_msv
@@ -78,6 +79,21 @@ DEFAULT_SEGMENT_BYTES = 1 << 20
 
 #: Record fields every WAL entry must carry.
 _RECORD_FIELDS = ("class_id", "n", "representative", "size", "exact")
+
+_REG = obs.registry()
+_MINTED = _REG.counter(
+    "repro_library_classes_minted_total",
+    "Classes minted by learn-on-miss, split base vs. overflow slot.",
+    labels=("slot",),
+)
+_COMPACTIONS = _REG.counter(
+    "repro_library_compactions_total",
+    "WAL-into-image compactions (no-op calls excluded).",
+)
+_COMPACTION_SECONDS = _REG.histogram(
+    "repro_library_compaction_seconds",
+    "Wall-clock time of one WAL compaction (image save + segment unlink).",
+)
 
 
 @dataclass(frozen=True)
@@ -309,6 +325,7 @@ class LearningLibrary:
             }
         )
         self.minted += 1
+        _MINTED.inc(slot="overflow" if overflow else "base")
         if overflow:
             self.collisions += 1
             self.overflow_minted += 1
@@ -349,12 +366,14 @@ class LearningLibrary:
         segments = list_segments(self.directory)
         if not segments and self.pending_records == 0:
             return CompactionResult(0, 0, self.library.num_classes, None)
-        path = self.library.save(self.directory)
-        for segment in segments:
-            segment.unlink()
+        with obs.timed(_COMPACTION_SECONDS):
+            path = self.library.save(self.directory)
+            for segment in segments:
+                segment.unlink()
         merged = self.pending_records
         self.pending_records = 0
         self.compactions += 1
+        _COMPACTIONS.inc()
         return CompactionResult(
             merged_records=merged,
             removed_segments=len(segments),

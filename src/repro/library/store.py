@@ -52,6 +52,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.matcher import find_npn_transform, find_npn_transforms_grouped
 from repro.canonical.form import (
     canonical_class_id,
@@ -93,6 +94,24 @@ DIGEST_FORMAT_VERSION = 1
 ID_SCHEMES = ("canonical", "digest")
 MANIFEST_FILE = "manifest.json"
 TABLES_FILE = "classes.npz"
+
+_REG = obs.registry()
+_MATCH_PHASE_SECONDS = _REG.histogram(
+    "repro_library_match_seconds",
+    "match_many phase timings per batch: the vectorized signature pass "
+    "vs. the grouped witness-search rounds.",
+    labels=("phase",),
+)
+_MATCH_QUERIES = _REG.counter(
+    "repro_library_match_queries_total",
+    "Queries resolved by match_many, by outcome (hit or miss).",
+    labels=("outcome",),
+)
+_MATCH_ROUNDS = _REG.counter(
+    "repro_library_match_rounds_total",
+    "Chain-walk witness rounds run by match_many (one grouped matcher "
+    "pass each).",
+)
 
 
 class LibraryFormatError(ValueError):
@@ -554,9 +573,11 @@ class ClassLibrary:
             # A library with no classes yet (empty, or all knowledge
             # still in un-replayed WAL segments) answers every query
             # with a clean miss — no signature pass, no matcher call.
+            _MATCH_QUERIES.inc(len(tts), outcome="miss")
             return [None] * len(tts)
         if signatures is None:
-            signatures = self._signature_engine().signatures(tts)
+            with obs.timed(_MATCH_PHASE_SECONDS, phase="signatures"):
+                signatures = self._signature_engine().signatures(tts)
         out: list[LibraryMatch | None] = [None] * len(tts)
         # Walk each query's candidate chain — the classes indexed under
         # its signature digest — round by round: queries whose candidate
@@ -571,30 +592,37 @@ class ClassLibrary:
             chain = chains.get(self.base_id_of(signature))
             if chain:
                 active[index] = (chain, 0)
-        while active:
-            groups: dict[str, list[int]] = {}
-            for index, (chain, position) in active.items():
-                groups.setdefault(chain[position], []).append(index)
-            group_entries = [self.classes[class_id] for class_id in groups]
-            witness_rows = find_npn_transforms_grouped(
-                [
-                    (entry.representative, [tts[i] for i in indices])
-                    for entry, indices in zip(group_entries, groups.values())
-                ],
-                cache_dir=self.kernel_cache_dir,
-            )
-            advanced: dict[int, tuple[list[str], int]] = {}
-            for entry, indices, witnesses in zip(
-                group_entries, groups.values(), witness_rows
-            ):
-                for i, witness in zip(indices, witnesses):
-                    if witness is not None:
-                        out[i] = LibraryMatch(entry, witness)
-                    else:
-                        chain, position = active[i]
-                        if position + 1 < len(chain):
-                            advanced[i] = (chain, position + 1)
-            active = advanced
+        with obs.timed(_MATCH_PHASE_SECONDS, phase="witness"):
+            while active:
+                _MATCH_ROUNDS.inc()
+                groups: dict[str, list[int]] = {}
+                for index, (chain, position) in active.items():
+                    groups.setdefault(chain[position], []).append(index)
+                group_entries = [self.classes[class_id] for class_id in groups]
+                witness_rows = find_npn_transforms_grouped(
+                    [
+                        (entry.representative, [tts[i] for i in indices])
+                        for entry, indices in zip(
+                            group_entries, groups.values()
+                        )
+                    ],
+                    cache_dir=self.kernel_cache_dir,
+                )
+                advanced: dict[int, tuple[list[str], int]] = {}
+                for entry, indices, witnesses in zip(
+                    group_entries, groups.values(), witness_rows
+                ):
+                    for i, witness in zip(indices, witnesses):
+                        if witness is not None:
+                            out[i] = LibraryMatch(entry, witness)
+                        else:
+                            chain, position = active[i]
+                            if position + 1 < len(chain):
+                                advanced[i] = (chain, position + 1)
+                active = advanced
+        hits = sum(1 for o in out if o is not None)
+        _MATCH_QUERIES.inc(hits, outcome="hit")
+        _MATCH_QUERIES.inc(len(out) - hits, outcome="miss")
         return out
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.library.store import LibraryFormatError
 
 __all__ = [
@@ -73,6 +74,33 @@ MAX_RECORD_BYTES = 1 << 20
 
 #: When appended records reach the disk (see module docstring).
 FSYNC_POLICIES = ("always", "close", "never")
+
+_OBS = obs.registry()
+_APPENDS = _OBS.counter(
+    "repro_wal_appends_total", "Records appended to write-ahead segments."
+)
+_APPEND_BYTES = _OBS.counter(
+    "repro_wal_append_bytes_total",
+    "Bytes appended to write-ahead segments (headers included).",
+)
+_FSYNCS = _OBS.counter(
+    "repro_wal_fsyncs_total",
+    "fsync calls issued by segment writers, by trigger.",
+    labels=("when",),
+)
+_APPEND_SECONDS = _OBS.histogram(
+    "repro_wal_append_seconds",
+    "Wall-clock time of one durable append (write + flush + policy fsync).",
+)
+_REPLAYED_RECORDS = _OBS.counter(
+    "repro_wal_replayed_records_total",
+    "Intact records recovered by segment replay.",
+)
+_REPLAYED_SEGMENTS = _OBS.counter(
+    "repro_wal_replayed_segments_total",
+    "Segments replayed, split by whether the tail was intact.",
+    labels=("tail",),
+)
 
 
 class WalError(LibraryFormatError):
@@ -257,6 +285,8 @@ def replay_segment(path: str | Path) -> SegmentReplay:
             f"(bad or truncated magic header)"
         )
     records, clean, valid = decode_records(data[len(WAL_MAGIC):])
+    _REPLAYED_RECORDS.inc(len(records))
+    _REPLAYED_SEGMENTS.inc(tail="clean" if clean else "torn")
     return SegmentReplay(
         path=path,
         records=records,
@@ -304,11 +334,16 @@ class SegmentWriter:
         """Durably append one record; returns the segment size after it."""
         if self.closed:
             raise WalError(f"{self.path}: segment writer is closed")
-        self._handle.write(encode_record(record))
-        self._handle.flush()
-        if self.fsync == "always":
-            os.fsync(self._handle.fileno())
+        encoded = encode_record(record)
+        with obs.timed(_APPEND_SECONDS):
+            self._handle.write(encoded)
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+                _FSYNCS.inc(when="append")
         self.records_written += 1
+        _APPENDS.inc()
+        _APPEND_BYTES.inc(len(encoded))
         return self._handle.tell()
 
     def close(self) -> None:
@@ -318,6 +353,7 @@ class SegmentWriter:
         self._handle.flush()
         if self.fsync in ("always", "close"):
             os.fsync(self._handle.fileno())
+            _FSYNCS.inc(when="close")
         self._handle.close()
 
     def __enter__(self) -> "SegmentWriter":

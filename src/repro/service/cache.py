@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.truth_table import TruthTable
 from repro.engine.cache import CacheStats
 from repro.library.store import LibraryMatch
@@ -21,6 +22,16 @@ __all__ = ["MatchCache"]
 
 #: Distinguishes "not cached" from a cached negative match outcome.
 _ABSENT = object()
+
+_REG = obs.registry()
+_LOOKUPS = _REG.counter(
+    "repro_cache_match_lookups_total",
+    "Match-cache lookups by result (hit or miss).",
+    labels=("result",),
+)
+_EVICTIONS = _REG.counter(
+    "repro_cache_match_evictions_total", "Match-cache LRU evictions."
+)
 
 
 class MatchCache:
@@ -50,9 +61,11 @@ class MatchCache:
         entry = self._entries.get(self.key_of(tt), _ABSENT)
         if entry is _ABSENT:
             self.stats.misses += 1
+            _LOOKUPS.inc(result="miss")
             return False, None
         self._entries.move_to_end(self.key_of(tt))
         self.stats.hits += 1
+        _LOOKUPS.inc(result="hit")
         return True, entry
 
     def put(self, tt: TruthTable, outcome: LibraryMatch | None) -> None:
@@ -67,6 +80,7 @@ class MatchCache:
         while len(entries) > self.maxsize:
             entries.popitem(last=False)
             self.stats.evictions += 1
+            _EVICTIONS.inc()
 
     def clear(self) -> None:
         self._entries.clear()

@@ -25,7 +25,7 @@ from repro.core.transforms import NPNTransform
 from repro.core.truth_table import TruthTable
 from repro.service.protocol import MAX_LINE_BYTES
 
-__all__ = ["ServiceClient", "ServiceError", "parse_address"]
+__all__ = ["ServiceClient", "ServiceError", "parse_address", "http_get"]
 
 
 class ServiceError(RuntimeError):
@@ -49,6 +49,40 @@ def parse_address(address: str) -> tuple[str, int]:
     if not 0 < port < 65536:
         raise ValueError(f"port {port} out of range")
     return host, port
+
+
+def http_get(
+    address: str, path: str, timeout: float = 30.0
+) -> tuple[int, str]:
+    """One blocking HTTP/1.0 GET against a daemon: ``(status, body)``.
+
+    The daemon serves one HTTP response per connection (it replies with
+    ``Connection: close``), so a fresh socket per call is the protocol —
+    this is how the CLI fetches ``/metrics`` text and ``/v1/trace/recent``
+    JSON without an HTTP client dependency.
+    """
+    host, port = parse_address(address)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ServiceError("internal", "malformed HTTP response (no header end)")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ServiceError(
+            "internal", f"malformed HTTP status line: {status_line!r}"
+        )
+    return int(parts[1]), body.decode()
 
 
 class ServiceClient:

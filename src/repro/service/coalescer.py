@@ -37,10 +37,12 @@ so a SIGTERM'd learning daemon leaves a clean artifact behind.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.canonical.form import canonical_class_id, canonical_forms
+from repro.obs import Trace
 from repro.core.msv import compute_msv
 from repro.core.truth_table import TruthTable
 from repro.engine import make_classifier
@@ -107,6 +109,11 @@ class _Pending:
     op: str
     table: TruthTable
     future: asyncio.Future = field(repr=False)
+    # Optional observability context: the server's per-request trace
+    # (spans appended as the request moves through the pipeline) and
+    # the perf-counter instant it entered the queue.
+    trace: Trace | None = field(default=None, repr=False)
+    enqueued: float = 0.0
 
 
 class Coalescer:
@@ -210,13 +217,17 @@ class Coalescer:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, op: str, table: TruthTable) -> asyncio.Future:
+    def submit(
+        self, op: str, table: TruthTable, trace: Trace | None = None
+    ) -> asyncio.Future:
         """Enqueue one request; the returned future resolves to its result.
 
         ``match`` futures resolve to ``(LibraryMatch | None, cached)``;
         ``classify`` futures to ``(class_id, known)``.  Raises
         :class:`ProtocolError` with type ``overloaded`` on a full queue
-        and ``shutting_down`` during drain.
+        and ``shutting_down`` during drain.  An optional ``trace``
+        accumulates per-stage spans as the request moves through the
+        queue, the batch, and the engine passes.
         """
         if self._closed:
             raise ProtocolError(
@@ -227,9 +238,19 @@ class Coalescer:
             found, outcome = self.cache.get(table)
             self.metrics.record_cache(found)
             if found:
+                if trace is not None:
+                    trace.annotate(cache="hit")
                 future.set_result((outcome, True))
                 return future
-        pending = _Pending(op=op, table=table, future=future)
+            if trace is not None:
+                trace.annotate(cache="miss")
+        pending = _Pending(
+            op=op,
+            table=table,
+            future=future,
+            trace=trace,
+            enqueued=time.perf_counter(),
+        )
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -255,6 +276,13 @@ class Coalescer:
             live = [p for p in batch if not p.future.cancelled()]
             if live:
                 self.metrics.record_batch(len(live))
+                dispatched = time.perf_counter()
+                queue_meta = {"batch": len(live)}  # shared; spans don't mutate
+                for pending in live:
+                    if pending.trace is not None:
+                        pending.trace.add_span(
+                            "queue", pending.enqueued, dispatched, queue_meta
+                        )
                 try:
                     results = await loop.run_in_executor(
                         self._executor, self._process, live
@@ -310,13 +338,16 @@ class Coalescer:
         :meth:`ClassLibrary.match_many`.
         """
         tables = [p.table for p in batch]
+        t_start = time.perf_counter()
         signatures = self.classifier.signatures(tables)
+        t_signed = time.perf_counter()
         match_indices = [i for i, p in enumerate(batch) if p.op == "match"]
         matches = self.library.match_many(
             [tables[i] for i in match_indices],
             signatures=[signatures[i] for i in match_indices],
         )
         by_index = dict(zip(match_indices, matches))
+        t_matched = time.perf_counter()
         classify_indices = [i for i, p in enumerate(batch) if p.op != "match"]
         class_ids = dict(
             zip(
@@ -327,6 +358,26 @@ class Coalescer:
                 ),
             )
         )
+        t_classified = time.perf_counter()
+        # Per-request spans for the batch phases the request shared: the
+        # signature pass covers everyone; matcher and canonical-search
+        # spans go only to the requests that took those paths.  Meta
+        # dicts are shared across the batch (spans never mutate them).
+        sig_meta = {"batch": len(batch)}
+        match_meta = {"rows": len(match_indices)}
+        classify_meta = {"rows": len(classify_indices)}
+        for index, pending in enumerate(batch):
+            if pending.trace is None:
+                continue
+            pending.trace.add_span("signatures", t_start, t_signed, sig_meta)
+            if pending.op == "match":
+                pending.trace.add_span(
+                    "match", t_signed, t_matched, match_meta
+                )
+            else:
+                pending.trace.add_span(
+                    "classify", t_matched, t_classified, classify_meta
+                )
         results = []
         for index, pending in enumerate(batch):
             if pending.op == "match":
@@ -336,10 +387,19 @@ class Coalescer:
                     # answer with a verified match against it.  Still
                     # None on a signature collision — the miss stands.
                     before = self.learner.minted
+                    t_learn = time.perf_counter()
                     outcome = self.learner.learn(
                         tables[index], signatures[index]
                     )
-                    if self.learner.minted > before:
+                    minted = self.learner.minted > before
+                    if pending.trace is not None:
+                        pending.trace.add_span(
+                            "learn",
+                            t_learn,
+                            time.perf_counter(),
+                            {"minted": minted},
+                        )
+                    if minted:
                         self.metrics.record_minted()
                 results.append((outcome, False))
             else:  # classify

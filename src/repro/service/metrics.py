@@ -1,10 +1,19 @@
 """Service observability: request/batch/cache counters + latency quantiles.
 
-One :class:`ServiceMetrics` instance lives for the daemon's lifetime and
-is mutated only from the event-loop thread (counter updates need no
-locks).  ``stats`` requests and ``GET /v1/stats`` serialize a
-:meth:`snapshot`; the numbers the coalescing design is judged by — mean
-batch size and cache hit rate — come straight from here.
+One :class:`ServiceMetrics` instance lives for the daemon's lifetime.
+Recording is **thread-safe**: most updates come from the event-loop
+thread, but batch accounting and learn-on-miss minting run on the
+coalescer's executor thread, so every mutation and the :meth:`snapshot`
+readout take the instance lock.  ``stats`` requests and
+``GET /v1/stats`` serialize a :meth:`snapshot`; the numbers the
+coalescing design is judged by — mean batch size and cache hit rate —
+come straight from here.
+
+Each recording also mirrors into the process-global
+:func:`repro.obs.registry`, which is what ``GET /metrics`` renders:
+the snapshot stays the service's exact JSON contract, the registry
+carries the same series in Prometheus form next to the engine, library,
+canonical, and cache layers.
 
 Latency quantiles use a bounded reservoir of the most recent
 :data:`DEFAULT_RESERVOIR` per-request latencies (enqueue to reply).
@@ -15,13 +24,43 @@ memory bound is what lets the service run indefinitely.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter, deque
+
+from repro import obs
 
 __all__ = ["ServiceMetrics", "LatencyWindow", "DEFAULT_RESERVOIR"]
 
 #: Per-request latencies retained for quantile estimation.
 DEFAULT_RESERVOIR = 4096
+
+_REG = obs.registry()
+_REQUESTS = _REG.counter(
+    "repro_service_requests_total", "Accepted requests by op.", labels=("op",)
+)
+_ERRORS = _REG.counter(
+    "repro_service_errors_total", "Error replies by type.", labels=("type",)
+)
+_REPLIES = _REG.counter(
+    "repro_service_replies_total", "Successful replies written."
+)
+_LATENCY = _REG.histogram(
+    "repro_service_request_seconds",
+    "End-to-end request latency, protocol decode to reply write.",
+)
+_BATCHES = _REG.counter(
+    "repro_service_batches_total", "Engine batches dispatched by the coalescer."
+)
+_BATCH_SIZE = _REG.histogram(
+    "repro_service_batch_size",
+    "Requests per dispatched engine batch.",
+    buckets=obs.BATCH_SIZE_BUCKETS,
+)
+_MINTED = _REG.counter(
+    "repro_service_classes_minted_total",
+    "Classes learned on miss (the serve --learn path).",
+)
 
 
 class LatencyWindow:
@@ -75,35 +114,54 @@ class ServiceMetrics:
         self.cache_misses = 0
         self.classes_minted = 0
         self.latency = LatencyWindow(reservoir)
+        # Guards every mutation and the snapshot: record_batch and
+        # record_minted arrive from the coalescer's executor thread
+        # while the event loop records requests/replies concurrently.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
 
     def record_request(self, op: str) -> None:
-        self.requests[op] += 1
+        with self._lock:
+            self.requests[op] += 1
+        _REQUESTS.inc(op=op)
 
     def record_reply(self, latency_seconds: float) -> None:
-        self.replies_ok += 1
-        self.latency.observe(latency_seconds)
+        with self._lock:
+            self.replies_ok += 1
+            self.latency.observe(latency_seconds)
+        _REPLIES.inc()
+        _LATENCY.observe(latency_seconds)
 
     def record_error(self, error_type: str) -> None:
-        self.errors[error_type] += 1
+        with self._lock:
+            self.errors[error_type] += 1
+        _ERRORS.inc(type=error_type)
 
     def record_batch(self, size: int) -> None:
-        self.batches += 1
-        self.batched_requests += size
-        self.max_batch_size = max(self.max_batch_size, size)
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.max_batch_size = max(self.max_batch_size, size)
+        _BATCHES.inc()
+        _BATCH_SIZE.observe(size)
 
     def record_cache(self, hit: bool) -> None:
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        # The registry-side cache series live with MatchCache itself
+        # (repro_cache_*); this keeps the snapshot's hit-rate contract.
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
 
     def record_minted(self) -> None:
         """One class learned on a miss (the ``serve --learn`` path)."""
-        self.classes_minted += 1
+        with self._lock:
+            self.classes_minted += 1
+        _MINTED.inc()
 
     # ------------------------------------------------------------------
     # Readout
@@ -120,24 +178,25 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict:
         """JSON-ready state for ``stats`` replies and the HTTP front."""
-        p50 = self.latency.quantile(0.50)
-        p99 = self.latency.quantile(0.99)
-        return {
-            "uptime_s": round(time.monotonic() - self.started, 3),
-            "requests_total": sum(self.requests.values()),
-            "requests_by_op": dict(sorted(self.requests.items())),
-            "replies_ok": self.replies_ok,
-            "errors_total": sum(self.errors.values()),
-            "errors_by_type": dict(sorted(self.errors.items())),
-            "batches": self.batches,
-            "batched_requests": self.batched_requests,
-            "mean_batch_size": round(self.mean_batch_size, 3),
-            "max_batch_size": self.max_batch_size,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": round(self.cache_hit_rate, 4),
-            "classes_minted": self.classes_minted,
-            "latency_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
-            "latency_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
-            "latency_samples": len(self.latency),
-        }
+        with self._lock:
+            p50 = self.latency.quantile(0.50)
+            p99 = self.latency.quantile(0.99)
+            return {
+                "uptime_s": round(time.monotonic() - self.started, 3),
+                "requests_total": sum(self.requests.values()),
+                "requests_by_op": dict(sorted(self.requests.items())),
+                "replies_ok": self.replies_ok,
+                "errors_total": sum(self.errors.values()),
+                "errors_by_type": dict(sorted(self.errors.items())),
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": round(self.mean_batch_size, 3),
+                "max_batch_size": self.max_batch_size,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": round(self.cache_hit_rate, 4),
+                "classes_minted": self.classes_minted,
+                "latency_p50_ms": None if p50 is None else round(p50 * 1e3, 3),
+                "latency_p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+                "latency_samples": len(self.latency),
+            }

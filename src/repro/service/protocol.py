@@ -53,6 +53,7 @@ __all__ = [
     "match_payload",
     "classify_payload",
     "http_response",
+    "http_text_response",
     "HTTP_METHODS",
 ]
 
@@ -265,6 +266,25 @@ def http_response(status: int, body: dict) -> bytes:
     head = (
         f"HTTP/1.0 {status} {_HTTP_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+#: Content type of the Prometheus text exposition format served by
+#: ``GET /metrics`` (the version tag is part of the scrape contract).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def http_text_response(
+    status: int, text: str, content_type: str = PROMETHEUS_CONTENT_TYPE
+) -> bytes:
+    """A complete ``HTTP/1.0`` response with a plain-text body."""
+    payload = text.encode()
+    head = (
+        f"HTTP/1.0 {status} {_HTTP_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"Connection: close\r\n\r\n"
     )

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
+import time
 
+from repro import obs
 from repro.library.store import ClassLibrary
 from repro.service.coalescer import (
     DEFAULT_MAX_BATCH,
@@ -42,9 +45,28 @@ from repro.service.protocol import (
     Request,
 )
 
-__all__ = ["ClassificationService", "DEFAULT_PORT"]
+__all__ = [
+    "ClassificationService",
+    "DEFAULT_PORT",
+    "DEFAULT_SLOW_MS",
+    "DEFAULT_TRACE_SAMPLE",
+]
 
 DEFAULT_PORT = 8355
+
+#: Requests slower than this land in the slow-request log (``--slow-ms``
+#: overrides; ``<= 0`` disables the slow log, traces still record).
+DEFAULT_SLOW_MS = 250.0
+
+#: Finished per-request traces retained for ``GET /v1/trace/recent``.
+DEFAULT_TRACE_CAPACITY = 256
+
+#: Head-sample span detail to every N-th request by default.  Trace and
+#: span allocation is the dominant observability cost on a saturated
+#: pipelined workload (the <3% overhead gate of
+#: ``benchmarks/bench_obs_overhead.py`` is measured at this default);
+#: ``serve --trace-sample 1`` opts into tracing every request.
+DEFAULT_TRACE_SAMPLE = 8
 
 #: Most un-replied requests one connection may have in flight; beyond it
 #: the read loop pauses until a reply completes.  Together with the
@@ -66,6 +88,13 @@ class ClassificationService:
         learner: a :class:`~repro.library.online.LearningLibrary`
             wrapping ``library`` — attaches learn-on-miss minting and
             the drain-time WAL compaction (``serve --learn``).
+        slow_ms: requests slower than this (end-to-end) are kept in the
+            slow-request ring and logged (``serve --slow-ms``; ``<= 0``
+            disables the slow log).
+        trace_capacity: bound of the recent-trace ring served by
+            ``GET /v1/trace/recent``.
+        trace_sample: head-sample span detail to every N-th request
+            (``serve --trace-sample``; ``1`` traces every request).
     """
 
     def __init__(
@@ -79,11 +108,19 @@ class ClassificationService:
         max_pending: int = DEFAULT_MAX_PENDING,
         cache_size: int = 1 << 16,
         learner=None,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
     ) -> None:
         self.library = library
         self.host = host
         self._requested_port = port
         self.metrics = ServiceMetrics()
+        self.tracer = obs.Tracer(
+            capacity=trace_capacity,
+            slow_ms=slow_ms,
+            sample_every=trace_sample,
+        )
         self.coalescer = Coalescer(
             library,
             engine=engine,
@@ -277,22 +314,38 @@ class ClassificationService:
     ) -> None:
         loop = asyncio.get_running_loop()
         t0 = loop.time()
+        trace = self.tracer.start("?", transport="ndjson")
+        decode_start = time.perf_counter()
         try:
             request = protocol.parse_request(line)
         except ProtocolError as exc:
+            if trace is not None:
+                trace.op = "invalid"
+                trace.annotate(error=exc.error_type)
+                self.tracer.finish(trace)
             request_id = _best_effort_id(line)
             await self._reject_line(writer, request_id, exc)
             return
+        if trace is not None:
+            trace.op = request.op
+            trace.add_span("decode", decode_start, time.perf_counter())
         self.metrics.record_request(request.op)
         try:
-            result = await self._resolve(request)
+            result = await self._resolve(request, trace)
         except ProtocolError as exc:
+            if trace is not None:
+                trace.annotate(error=exc.error_type)
+                self.tracer.finish(trace)
             await self._reject_line(writer, request.id, exc)
             return
         self.metrics.record_reply(loop.time() - t0)
+        reply_start = time.perf_counter()
         await self._write(writer, protocol.encode_line(
             protocol.ok_reply(request.id, request.op, result)
         ))
+        if trace is not None:
+            trace.add_span("reply", reply_start, time.perf_counter())
+            self.tracer.finish(trace)
 
     async def _reject_line(
         self,
@@ -327,7 +380,18 @@ class ClassificationService:
         t0 = loop.time()
         try:
             method, path, body = await self._read_http(request_line, reader)
-            status, payload = await self._route_http(method, path, body, t0)
+            path, _, query = path.partition("?")
+            if method == "GET" and path == "/metrics":
+                # Prometheus text exposition, not JSON: bypass the dict
+                # routing and write the rendered registry directly.
+                await self._write(
+                    writer,
+                    protocol.http_text_response(200, obs.registry().render()),
+                )
+                return
+            status, payload = await self._route_http(
+                method, path, body, t0, query
+            )
         except ProtocolError as exc:
             self.metrics.record_error(exc.error_type)
             status = HTTP_STATUS_BY_ERROR[exc.error_type]
@@ -363,7 +427,7 @@ class ClassificationService:
         return method.upper(), path, body
 
     async def _route_http(
-        self, method: str, path: str, body: bytes, t0: float
+        self, method: str, path: str, body: bytes, t0: float, query: str = ""
     ) -> tuple[int, dict]:
         loop = asyncio.get_running_loop()
         if method == "GET" and path == "/healthz":
@@ -377,9 +441,16 @@ class ClassificationService:
             }
         if method == "GET" and path == "/v1/stats":
             self.metrics.record_request("stats")
-            snapshot = self.coalescer.stats_snapshot()
+            snapshot = self._stats_snapshot()
             self.metrics.record_reply(loop.time() - t0)
             return 200, snapshot
+        if method == "GET" and path == "/v1/trace/recent":
+            limit = _query_int(query, "limit", default=50)
+            return 200, {
+                "traces": self.tracer.recent(limit),
+                "slow": self.tracer.slow_recent(limit),
+                "tracer": self.tracer.snapshot(),
+            }
         if method == "POST" and path in ("/v1/classify", "/v1/match"):
             op = path.rsplit("/", 1)[1]
             try:
@@ -390,10 +461,18 @@ class ClassificationService:
                 raise ProtocolError("bad_request", "body must be a JSON object")
             table = protocol.parse_table_payload(data)
             self.metrics.record_request(op)
-            result = await self._resolve(
-                Request(op=op, id=data.get("id"), table=table)
-            )
+            trace = self.tracer.start(op, transport="http")
+            try:
+                result = await self._resolve(
+                    Request(op=op, id=data.get("id"), table=table), trace
+                )
+            except ProtocolError as exc:
+                if trace is not None:
+                    trace.annotate(error=exc.error_type)
+                    self.tracer.finish(trace)
+                raise
             self.metrics.record_reply(loop.time() - t0)
+            self.tracer.finish(trace)
             return 200, {"ok": True, "op": op, "result": result}
         raise ProtocolError("bad_request", f"no route for {method} {path}")
 
@@ -401,17 +480,51 @@ class ClassificationService:
     # Request resolution (shared by both fronts)
     # ------------------------------------------------------------------
 
-    async def _resolve(self, request: Request) -> dict:
+    async def _resolve(self, request: Request, trace=None) -> dict:
         if request.op == "ping":
             return {"pong": True, "classes": self.library.num_classes}
         if request.op == "stats":
-            return self.coalescer.stats_snapshot()
-        future = self.coalescer.submit(request.op, request.table)
+            return self._stats_snapshot()
+        future = self.coalescer.submit(request.op, request.table, trace)
         if request.op == "match":
             outcome, cached = await future
             return protocol.match_payload(request.table, outcome, cached)
         class_id, known = await future
         return protocol.classify_payload(request.table, class_id, known)
+
+    def _stats_snapshot(self) -> dict:
+        """Coalescer stats plus this worker's identity block."""
+        snapshot = self.coalescer.stats_snapshot()
+        snapshot["identity"] = self.identity()
+        return snapshot
+
+    def identity(self) -> dict:
+        """Who this worker is — fleet debugging tells daemons apart by it."""
+        return {
+            "pid": os.getpid(),
+            "address": self.address,
+            "engine": self.coalescer.engine,
+            "transports": ["ndjson", "http/1.0"],
+            "id_scheme": self.library.id_scheme,
+            "classes": self.library.num_classes,
+            "learning": self.coalescer.learner is not None,
+            "slow_ms": self.tracer.slow_ms,
+            "trace_sample": self.tracer.sample_every,
+        }
+
+
+def _query_int(query: str, name: str, default: int) -> int:
+    """``limit=N``-style query parameter, tolerant of junk."""
+    for part in query.split("&"):
+        key, sep, value = part.partition("=")
+        if sep and key == name:
+            try:
+                return max(0, int(value))
+            except ValueError:
+                raise ProtocolError(
+                    "bad_request", f"query parameter {name} must be an integer"
+                ) from None
+    return default
 
 
 def _best_effort_id(line: bytes) -> object:

@@ -1,0 +1,61 @@
+"""Golden-file test of the Prometheus text exposition format.
+
+A deterministic private registry (fixed observations, no wall-clock
+values) must render byte-identically to
+``tests/data/golden_metrics.prom``.  This pins every formatting rule a
+scraper depends on — family ordering, ``# HELP``/``# TYPE`` headers,
+label escaping, cumulative ``le`` buckets with the implicit ``+Inf``,
+``_sum``/``_count`` rows, and integral-value rendering — so exposition
+regressions show up as a readable text diff.
+
+Regenerate after an intentional format change with::
+
+    PYTHONPATH=src python tests/obs/test_exposition_golden.py
+"""
+
+from pathlib import Path
+
+from repro.obs import MetricsRegistry
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_metrics.prom"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A registry exercising every sample shape the renderer emits."""
+    reg = MetricsRegistry()
+    requests = reg.counter(
+        "demo_requests_total", "Requests by op.", labels=("op",)
+    )
+    requests.inc(3, op="match")
+    requests.inc(op="classify")
+    reg.counter("demo_unlabelled_total", "A bare counter.").inc(2.5)
+    live = reg.gauge("demo_live_bytes", "Live bytes.", labels=("pool",))
+    live.set(65536, pool="shm")
+    live.set(-12.25, pool="debt")
+    escapes = reg.counter(
+        "demo_escapes_total", "Label escaping.", labels=("msg",)
+    )
+    escapes.inc(msg='quote " backslash \\ newline \n end')
+    latency = reg.histogram(
+        "demo_seconds",
+        "Latency with labels.",
+        labels=("op",),
+        buckets=(0.001, 0.01, 0.1, 1.0),
+    )
+    for value in (0.0005, 0.001, 0.05, 0.2, 5.0):
+        latency.observe(value, op="match")
+    latency.observe(0.002, op="classify")
+    reg.histogram(
+        "demo_plain_seconds", "Unlabelled histogram.", buckets=(1.0, 2.5)
+    ).observe(2.0)
+    return reg
+
+
+def test_exposition_matches_golden_file():
+    rendered = build_reference_registry().render()
+    assert rendered == GOLDEN.read_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    GOLDEN.write_text(build_reference_registry().render())
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,297 @@
+"""The observability surface of the daemon, end to end.
+
+Covers the three new read paths — ``GET /metrics`` (Prometheus text),
+``GET /v1/trace/recent`` (per-stage spans), the identity block in
+``stats`` — plus the thread-safety contracts of
+:class:`ServiceMetrics` and the :class:`LatencyWindow` quantile edge
+cases.
+
+Registry assertions are **deltas**: the process-global registry
+accumulates across every test in the session, so tests capture a
+before-value and assert growth, never absolute counts.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.truth_table import TruthTable
+from repro.service import ServiceClient, ThreadedService
+from repro.service.client import http_get
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+
+
+@pytest.fixture(scope="module")
+def observed_service(tiny_library):
+    """One daemon, every request traced, slow threshold set to catch all."""
+    with ThreadedService(tiny_library, slow_ms=1e-6, trace_sample=1) as svc:
+        with ServiceClient(port=svc.port) as client:
+            maj = TruthTable.majority(3)
+            assert client.match(maj)["hit"]
+            assert client.match(maj)["cached"]  # second hit: cache path
+            client.classify(maj)
+            client.ping()
+        yield svc
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_well_formed(self, observed_service):
+        status, text = http_get(observed_service.address, "/metrics")
+        assert status == 200
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "# TYPE repro_service_request_seconds histogram" in text
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        for line in lines:  # every sample line is "name[{labels}] value"
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part
+            float(value_part.replace("+Inf", "inf"))
+
+    def test_series_from_every_layer_present(self, observed_service):
+        _, text = http_get(observed_service.address, "/metrics")
+        for family in (
+            "repro_service_requests_total",  # service
+            "repro_cache_match_lookups_total",  # match cache
+            "repro_library_match_queries_total",  # library matcher
+            "repro_canonical_search_steps_total",  # canonical layer
+            "repro_shm_arenas_created_total",  # shm/engine layer
+        ):
+            assert f"# TYPE {family}" in text
+
+    def test_request_counts_cover_served_ops(self, observed_service):
+        _, text = http_get(observed_service.address, "/metrics")
+        by_line = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line.startswith("repro_service_requests_total{")
+        )
+        assert float(by_line['repro_service_requests_total{op="match"}']) >= 2
+        assert float(by_line['repro_service_requests_total{op="classify"}']) >= 1
+        assert float(by_line['repro_service_requests_total{op="ping"}']) >= 1
+
+    def test_prometheus_content_type_header(self, observed_service):
+        host, port = observed_service.address.rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+            raw = b""
+            while chunk := sock.recv(65536):
+                raw += chunk
+        head = raw.split(b"\r\n\r\n", 1)[0].decode("latin-1").lower()
+        assert "content-type: text/plain; version=0.0.4" in head
+
+
+class TestTraceEndpoint:
+    def test_recent_traces_have_per_stage_spans(self, observed_service):
+        status, body = http_get(
+            observed_service.address, "/v1/trace/recent?limit=50"
+        )
+        assert status == 200
+        payload = json.loads(body)
+        by_op = {}
+        for trace in payload["traces"]:
+            by_op.setdefault(trace["op"], trace)
+        # The uncached match went through the whole pipeline.
+        match_spans = {
+            s["name"]
+            for t in payload["traces"]
+            if t["op"] == "match"
+            for s in t["spans"]
+        }
+        assert {"decode", "queue", "signatures", "match", "reply"} <= match_spans
+        classify = by_op["classify"]
+        assert {"signatures", "classify"} <= {
+            s["name"] for s in classify["spans"]
+        }
+        for trace in payload["traces"]:
+            assert trace["duration_ms"] >= 0
+            assert trace["meta"]["transport"] == "ndjson"
+            for span in trace["spans"]:
+                assert span["duration_ms"] >= 0
+
+    def test_cache_hit_is_annotated_and_skips_engine_stages(
+        self, observed_service
+    ):
+        _, body = http_get(observed_service.address, "/v1/trace/recent")
+        cached = [
+            t
+            for t in json.loads(body)["traces"]
+            if t["op"] == "match" and t.get("meta", {}).get("cache") == "hit"
+        ]
+        assert cached, "expected a cache-hit trace"
+        names = {s["name"] for s in cached[0]["spans"]}
+        assert "signatures" not in names and "queue" not in names
+
+    def test_slow_ring_and_limit_param(self, observed_service):
+        _, body = http_get(observed_service.address, "/v1/trace/recent?limit=1")
+        payload = json.loads(body)
+        assert len(payload["traces"]) == 1
+        assert len(payload["slow"]) == 1  # slow_ms=1e-6: everything is slow
+        assert payload["tracer"]["slow_total"] >= 4
+        assert payload["tracer"]["slow_ms"] == pytest.approx(1e-6)
+
+    def test_bad_limit_is_a_400(self, observed_service):
+        status, body = http_get(
+            observed_service.address, "/v1/trace/recent?limit=nope"
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "bad_request"
+
+
+class TestTraceSampling:
+    def test_default_daemon_head_samples(self, tiny_library):
+        """With the default 1-in-8 sampling, 4 requests yield one trace."""
+        with ThreadedService(tiny_library) as svc:
+            with ServiceClient(port=svc.port) as client:
+                for _ in range(4):
+                    client.ping()
+            _, body = http_get(svc.address, "/v1/trace/recent")
+            payload = json.loads(body)
+        assert payload["tracer"]["sample_every"] == 8
+        traces = [t for t in payload["traces"] if t["op"] == "ping"]
+        assert len(traces) == 1  # the first request; 2-4 unsampled
+
+
+class TestIdentityBlock:
+    def test_identity_in_stats_over_both_fronts(self, observed_service):
+        status, body = http_get(observed_service.address, "/v1/stats")
+        assert status == 200
+        http_identity = json.loads(body)["identity"]
+        with ServiceClient(port=observed_service.port) as client:
+            ndjson_identity = client.stats()["identity"]
+        assert http_identity == ndjson_identity
+        assert http_identity["engine"] == "batched"
+        assert http_identity["id_scheme"] == "canonical"
+        assert http_identity["transports"] == ["ndjson", "http/1.0"]
+        assert http_identity["learning"] is False
+        assert http_identity["pid"] > 0
+        assert http_identity["address"] == observed_service.address
+        assert http_identity["slow_ms"] == pytest.approx(1e-6)
+        assert http_identity["trace_sample"] == 1
+
+
+class TestRegistryDeltas:
+    def test_requests_and_batches_grow_with_traffic(self, tiny_library):
+        reg = obs.registry()
+        requests = reg.get("repro_service_requests_total")
+        batches = reg.get("repro_service_batches_total")
+        lookups = reg.get("repro_cache_match_lookups_total")
+        before = (
+            requests.value(op="match"),
+            batches.value(),
+            lookups.value(result="miss"),
+        )
+        with ThreadedService(tiny_library) as svc:
+            with ServiceClient(port=svc.port) as client:
+                client.match(TruthTable.majority(3))
+        assert requests.value(op="match") == before[0] + 1
+        assert batches.value() >= before[1] + 1
+        assert lookups.value(result="miss") == before[2] + 1
+
+    def test_disabled_observability_serves_but_records_nothing(
+        self, tiny_library
+    ):
+        reg = obs.registry()
+        requests = reg.get("repro_service_requests_total")
+        previous = obs.set_enabled(False)
+        try:
+            before = requests.value(op="match")
+            with ThreadedService(tiny_library) as svc:
+                with ServiceClient(port=svc.port) as client:
+                    assert client.match(TruthTable.majority(3))["hit"]
+                _, body = http_get(svc.address, "/v1/trace/recent")
+                assert json.loads(body)["traces"] == []
+            assert requests.value(op="match") == before
+        finally:
+            obs.set_enabled(previous)
+
+
+class TestServiceMetricsThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        """Batch/mint accounting races the loop's request accounting.
+
+        This is the regression test for the pre-lock ServiceMetrics: the
+        coalescer's executor thread records batches and minted classes
+        while the event loop records requests and replies; without the
+        instance lock, increments were lost under contention.
+        """
+        metrics = ServiceMetrics()
+        rounds, workers = 5_000, 4
+
+        def loop_side():
+            for _ in range(rounds):
+                metrics.record_request("match")
+                metrics.record_reply(0.001)
+                metrics.record_cache(hit=False)
+
+        def executor_side():
+            for _ in range(rounds):
+                metrics.record_batch(8)
+                metrics.record_minted()
+                metrics.record_error("overloaded")
+
+        threads = [
+            threading.Thread(target=loop_side if i % 2 else executor_side)
+            for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        per_side = rounds * (workers // 2)
+        assert snap["requests_by_op"]["match"] == per_side
+        assert snap["replies_ok"] == per_side
+        assert snap["cache_misses"] == per_side
+        assert snap["batches"] == per_side
+        assert snap["batched_requests"] == per_side * 8
+        assert snap["classes_minted"] == per_side
+        assert snap["errors_by_type"]["overloaded"] == per_side
+
+
+class TestLatencyWindow:
+    def test_maxlen_one_keeps_only_newest(self):
+        window = LatencyWindow(maxlen=1)
+        for value in (5.0, 1.0, 3.0):
+            window.observe(value)
+        assert len(window) == 1
+        assert window.observed == 3
+        assert window.quantile(0.0) == 3.0
+        assert window.quantile(0.5) == 3.0
+        assert window.quantile(1.0) == 3.0
+
+    def test_extreme_quantiles_are_min_and_max(self):
+        window = LatencyWindow(maxlen=16)
+        for value in (4.0, 1.0, 3.0, 2.0):
+            window.observe(value)
+        assert window.quantile(0.0) == 1.0
+        assert window.quantile(1.0) == 4.0
+
+    def test_nearest_rank_on_even_window(self):
+        window = LatencyWindow(maxlen=16)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value)
+        # round(0.5 * 3) = round(1.5) = 2 under banker's rounding -> 3.0
+        assert window.quantile(0.5) == 3.0
+        assert window.quantile(0.25) == 2.0
+
+    def test_window_slides_old_samples_out(self):
+        window = LatencyWindow(maxlen=2)
+        for value in (100.0, 1.0, 2.0):
+            window.observe(value)
+        assert window.quantile(1.0) == 2.0  # the 100.0 sample fell off
+
+    def test_empty_window_has_no_quantiles(self):
+        window = LatencyWindow(maxlen=4)
+        assert window.quantile(0.5) is None
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(maxlen=0)
+        window = LatencyWindow(maxlen=4)
+        window.observe(1.0)
+        with pytest.raises(ValueError):
+            window.quantile(1.5)
+        with pytest.raises(ValueError):
+            window.quantile(-0.1)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_tables
@@ -342,6 +344,30 @@ class TestServeAndQueryCommands:
         assert '"pong": true' in capsys.readouterr().out
         assert main(["query", "stats", "--addr", served.address]) == 0
         assert '"mean_batch_size"' in capsys.readouterr().out
+
+    def test_query_stats_prometheus(self, served, capsys):
+        assert main(
+            ["query", "stats", "--prometheus", "--addr", served.address]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests_total counter" in out
+        assert "repro_service_request_seconds_bucket" in out
+
+    def test_query_trace(self, served, capsys):
+        # Prior tests in this class already generated traffic to trace.
+        assert main(["query", "trace", "--addr", served.address]) == 0
+        out = capsys.readouterr().out
+        assert "trace(s)" in out
+        assert "op=match" in out
+        assert "decode" in out
+
+    def test_query_trace_json_and_limit(self, served, capsys):
+        assert main(
+            ["query", "trace", "--json", "--limit", "1", "--addr", served.address]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["traces"]) == 1
+        assert payload["tracer"]["finished_total"] >= 1
 
     def test_query_rejects_bad_address(self, capsys):
         assert main(["query", "ping", "--addr", "nope"]) == 2
