@@ -1,0 +1,152 @@
+"""Bench: the fabric must scale throughput with workers, correctly.
+
+The acceptance run of the distributed fabric (ISSUE 10): the same
+pipelined workload the service bench uses — random 6-variable queries
+against a library built from the workload itself — is pushed through a
+real router + worker fleet (subprocesses, the operator entry points) at
+1, 2, and 4 workers.  For every fleet size:
+
+* every witness re-verifies **offline** (decode transform + rep, apply,
+  compare) — scale-out must not bend correctness;
+* the router reports zero degraded refusals and zero retries — a
+  healthy fleet serves without touching the failure machinery.
+
+Throughput must not collapse as workers are added (router fan-out +
+replica sharding are supposed to compose), and on machines with enough
+cores the 4-worker fleet must beat the 1-worker fleet.  Results go to
+``results/fabric_scaling.md`` (human) and ``results/BENCH_fabric.json``
+(machine, for cross-PR tracking).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import write_markdown_table
+from repro.core.transforms import NPNTransform
+from repro.core.truth_table import TruthTable
+from repro.fabric.chaos import ChaosFleet
+from repro.library import build_library
+from repro.service import ServiceClient
+from repro.service.client import http_get
+from repro.workloads import random_tables
+
+WORKLOAD_N = 6
+QUERY_COUNT = 1_500
+WORKLOAD_SEED = 2023
+
+FLEET_SIZES = (1, 2, 4)
+
+#: With >= 4 usable cores the 4-worker fleet must beat the 1-worker
+#: fleet by at least this factor (modest on purpose: shared CI runners
+#: are noisy, and the win to pin is "scale-out helps", not a ratio).
+MIN_SCALING_4X = 1.1
+
+ROUTER_KNOBS = {"timeout_ms": 30_000, "attempts": 2}
+
+
+@pytest.fixture(scope="module")
+def query_tables():
+    return random_tables(WORKLOAD_N, QUERY_COUNT, WORKLOAD_SEED)
+
+
+@pytest.fixture(scope="module")
+def fabric_library_dir(query_tables, tmp_path_factory):
+    """A library built from the workload, saved for the worker fleets."""
+    path = tmp_path_factory.mktemp("fabric_bench") / "lib"
+    build_library(query_tables).save(path)
+    return path
+
+
+def _verify_offline(tables, results) -> None:
+    for query, result in zip(tables, results):
+        assert result["hit"], f"{query!r} missed its own library"
+        representative = TruthTable.from_hex(
+            result["n"], result["representative"]
+        )
+        transform = NPNTransform.from_dict(result["transform"])
+        assert representative.apply(transform) == query, (
+            f"witness for {query!r} does not re-verify offline"
+        )
+
+
+def _run_fleet(library_dir, worker_count, tables):
+    """One fleet run: pipeline every query, return (results, s, stats)."""
+    ring = tuple(f"w{i}" for i in range(worker_count))
+    with ChaosFleet(library_dir, ring) as fleet:
+        fleet.start(**ROUTER_KNOBS)
+        with ServiceClient(port=fleet.router.port, timeout=120.0) as client:
+            t0 = time.perf_counter()
+            results = client.match_many(tables)
+            seconds = time.perf_counter() - t0
+        status, body = http_get(fleet.router.address, "/v1/stats")
+        assert status == 200
+        stats = json.loads(body)
+    return results, seconds, stats
+
+
+def test_fabric_scaling_and_witness_verification(
+    query_tables, fabric_library_dir, results_dir, persist_bench
+):
+    """The acceptance run: 1 -> 2 -> 4 workers, all witnesses verified."""
+    runs = {}
+    for worker_count in FLEET_SIZES:
+        results, seconds, stats = _run_fleet(
+            fabric_library_dir, worker_count, query_tables
+        )
+        _verify_offline(query_tables, results)
+        fabric = stats["fabric"]
+        # A healthy fleet never touches the failure machinery.
+        assert fabric["degraded"] == 0
+        assert fabric["retries"] == 0
+        assert stats["registry"]["counts"]["alive"] == worker_count
+        runs[worker_count] = {
+            "seconds": round(seconds, 4),
+            "queries_per_s": round(QUERY_COUNT / seconds),
+            "errors": sum(stats.get("errors_by_type", {}).values()),
+        }
+
+    qps = {count: runs[count]["queries_per_s"] for count in FLEET_SIZES}
+    # Adding workers must never collapse throughput.
+    assert qps[4] > 0.5 * qps[1], f"4-worker fleet collapsed: {qps}"
+    cores = len(os.sched_getaffinity(0))
+    if cores >= 4:
+        assert qps[4] >= MIN_SCALING_4X * qps[1], (
+            f"no scale-out win on {cores} cores: {qps}"
+        )
+
+    rows = [
+        {
+            "workers": count,
+            "seconds": runs[count]["seconds"],
+            "queries_per_s": runs[count]["queries_per_s"],
+            "speedup_vs_1": round(qps[count] / qps[1], 2),
+        }
+        for count in FLEET_SIZES
+    ]
+    write_markdown_table(
+        rows,
+        results_dir / "fabric_scaling.md",
+        title=(
+            f"Fabric scaling — {QUERY_COUNT} random {WORKLOAD_N}-var "
+            f"queries through router + N workers, every witness "
+            f"re-verified offline"
+        ),
+    )
+    persist_bench(
+        "fabric",
+        {
+            "workload": {
+                "n": WORKLOAD_N,
+                "count": QUERY_COUNT,
+                "seed": WORKLOAD_SEED,
+            },
+            "router": ROUTER_KNOBS,
+            "cores": cores,
+            "min_scaling_required_at_4": MIN_SCALING_4X,
+            "runs": {str(count): runs[count] for count in FLEET_SIZES},
+            "speedup_4_vs_1": round(qps[4] / qps[1], 3),
+        },
+    )

@@ -10,8 +10,11 @@ Subcommands:
   (``library build | stats | match | compact``);
 * ``serve``      — run the online classification daemon on a library
   (``--learn`` mints classes for unmatched queries into a WAL);
-* ``query``      — talk to a running daemon (``query match | classify |
-  stats | ping``);
+* ``router``     — run the fabric router fronting a worker fleet;
+* ``worker``     — run one fabric worker serving its consistent-hash
+  shard of a library, registered with a router;
+* ``query``      — talk to a running daemon or router (``query match |
+  classify | stats | ping``);
 * ``cutmatch``   — enumerate AIG cuts and match them against a library;
 * ``table1 | table2 | table3 | fig5 | fig34`` — regenerate the paper's
   tables and figures at a chosen scale.
@@ -233,6 +236,132 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 8; 1 traces every request)",
     )
 
+    router = sub.add_parser(
+        "router",
+        help="run the fabric router: clients in front, a registered "
+        "worker fleet behind a consistent-hash ring",
+    )
+    router.add_argument("--host", default="127.0.0.1", help="bind address")
+    router.add_argument(
+        "--port", type=int, default=8455, help="bind port (0 picks a free one)"
+    )
+    router.add_argument(
+        "--attempts",
+        type=int,
+        default=3,
+        help="dispatch tries per request (1 disables retrying)",
+    )
+    router.add_argument(
+        "--base-ms",
+        type=float,
+        default=25.0,
+        help="first retry's backoff ceiling (capped exponential, full jitter)",
+    )
+    router.add_argument(
+        "--cap-ms", type=float, default=500.0, help="backoff delay cap"
+    )
+    router.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=5000.0,
+        help="per-attempt deadline for one worker round trip",
+    )
+    router.add_argument(
+        "--heartbeat-interval-s",
+        type=float,
+        default=1.0,
+        help="cadence workers are told to heartbeat at",
+    )
+    router.add_argument(
+        "--suspect-misses",
+        type=int,
+        default=3,
+        help="missed heartbeat intervals before a worker is suspected",
+    )
+    router.add_argument(
+        "--evict-misses",
+        type=int,
+        default=8,
+        help="missed heartbeat intervals before a worker is evicted",
+    )
+    router.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-request log threshold (default 250; <= 0 disables)",
+    )
+    router.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace span detail for every N-th request (default 8)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one fabric worker: a classification daemon serving its "
+        "consistent-hash shard, registered with a router",
+    )
+    worker.add_argument(
+        "--id",
+        dest="worker_id",
+        required=True,
+        help="this worker's ring identity (must appear in --ring)",
+    )
+    worker.add_argument(
+        "--ring",
+        required=True,
+        help="comma-separated worker ids forming the ring (identical for "
+        "every worker and adopted by the router)",
+    )
+    worker.add_argument(
+        "--library",
+        default="npn_library",
+        help="library directory; this worker serves only its shard of it",
+    )
+    worker.add_argument(
+        "--router",
+        default="127.0.0.1:8455",
+        dest="router_addr",
+        help="router address host:port (registration + heartbeats)",
+    )
+    worker.add_argument("--host", default="127.0.0.1", help="bind address")
+    worker.add_argument(
+        "--port", type=int, default=0, help="bind port (default 0: free port)"
+    )
+    worker.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per worker on the ring",
+    )
+    worker.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="distinct workers holding each shard (owner + successors)",
+    )
+    worker.add_argument(
+        "--engine",
+        default="batched",
+        choices=SERVICE_ENGINES,
+        help="in-process signature engine",
+    )
+    worker.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="most requests coalesced into one engine batch",
+    )
+    worker.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a non-full batch waits for stragglers",
+    )
+
     query = sub.add_parser(
         "query", help="query a running daemon (match | classify | stats | ping)"
     )
@@ -261,6 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print the daemon's GET /metrics text exposition "
                 "instead of the JSON snapshot",
+            )
+        if name == "ping":
+            q.add_argument(
+                "--retries",
+                type=int,
+                default=0,
+                help="retry an unreachable daemon this many times "
+                "(waiting out a slow start)",
+            )
+            q.add_argument(
+                "--backoff-ms",
+                type=float,
+                default=100.0,
+                help="first retry's backoff ceiling; delays grow "
+                "capped-exponentially with full jitter",
             )
     query_trace = query_sub.add_parser(
         "trace", help="recent per-request traces from the daemon"
@@ -406,6 +550,10 @@ def main(argv=None) -> int:
         return _cmd_library(args)
     if command == "serve":
         return _cmd_serve(args)
+    if command == "router":
+        return _cmd_router(args)
+    if command == "worker":
+        return _cmd_worker(args)
     if command == "query":
         return _cmd_query(args)
     if command == "cutmatch":
@@ -850,6 +998,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_router(args) -> int:
+    import asyncio
+
+    from repro.fabric.backoff import RetryPolicy
+    from repro.fabric.router import RouterService
+    from repro.service.server import DEFAULT_SLOW_MS, DEFAULT_TRACE_SAMPLE
+
+    if args.trace_sample is not None and args.trace_sample < 1:
+        print("--trace-sample must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        policy = RetryPolicy(
+            attempts=args.attempts,
+            base_ms=args.base_ms,
+            cap_ms=args.cap_ms,
+            timeout_ms=args.timeout_ms,
+        )
+        service = RouterService(
+            host=args.host,
+            port=args.port,
+            policy=policy,
+            heartbeat_interval_s=args.heartbeat_interval_s,
+            suspect_misses=args.suspect_misses,
+            evict_misses=args.evict_misses,
+            slow_ms=DEFAULT_SLOW_MS if args.slow_ms is None else args.slow_ms,
+            trace_sample=(
+                DEFAULT_TRACE_SAMPLE
+                if args.trace_sample is None
+                else args.trace_sample
+            ),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import asyncio
+
+    from repro.fabric.ring import HashRing, parse_ring_spec
+    from repro.fabric.worker import FabricWorker
+    from repro.service.coalescer import validate_service_knobs
+
+    try:
+        nodes = parse_ring_spec(args.ring)
+        ring = HashRing(nodes, vnodes=args.vnodes, replicas=args.replicas)
+        validate_service_knobs(
+            engine=args.engine,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.worker_id not in nodes:
+        print(
+            f"--id {args.worker_id!r} is not on the ring {args.ring!r}",
+            file=sys.stderr,
+        )
+        return 2
+    # Read-only shard serving: each worker maps the shared image and
+    # keeps only the entries its ring arcs own (plus replicas).
+    library = _load_library_or_fail(args.library, mmap_mode="r")
+    if library is None:
+        return 2
+    shard = library.subset(
+        ring.shard_filter(args.worker_id, library.parts)
+    )
+    worker = FabricWorker(
+        shard,
+        worker_id=args.worker_id,
+        router_address=args.router_addr,
+        ring=ring,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    try:
+        asyncio.run(worker.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
 def _cmd_query(args) -> int:
     import json as json_module
 
@@ -913,6 +1152,44 @@ def _cmd_query(args) -> int:
             )
             return 2
 
+    if args.query_command == "ping":
+        # Retries draw their sleep schedule from the fabric's one backoff
+        # policy — the same capped exponential + full jitter the router
+        # re-dispatches with.
+        from repro.fabric.backoff import RetryPolicy, retry_call
+        from repro.service import ServiceUnavailableError
+
+        def do_ping() -> dict:
+            with ServiceClient.from_address(args.addr) as client:
+                return client.ping()
+
+        try:
+            policy = RetryPolicy(
+                attempts=args.retries + 1,
+                base_ms=args.backoff_ms,
+                cap_ms=max(args.backoff_ms, args.backoff_ms * 16),
+                timeout_ms=None,
+            )
+            result = retry_call(
+                do_ping, policy, (ServiceUnavailableError, OSError)
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        except (ServiceUnavailableError, OSError) as exc:
+            tried = f" after {args.retries + 1} attempts" if args.retries else ""
+            print(
+                f"cannot reach {args.addr}{tried}: {exc}\n"
+                f"(start a daemon with: repro-npn serve --library npn_library)",
+                file=sys.stderr,
+            )
+            return 2
+        except ServiceError as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+            return 2
+        print(json_module.dumps(result, sort_keys=True))
+        return 0
+
     try:
         client = ServiceClient.from_address(args.addr)
     except ValueError as exc:
@@ -922,9 +1199,6 @@ def _cmd_query(args) -> int:
         with client:
             if args.query_command == "stats":
                 print(json_module.dumps(client.stats(), indent=2, sort_keys=True))
-                return 0
-            if args.query_command == "ping":
-                print(json_module.dumps(client.ping(), sort_keys=True))
                 return 0
             try:
                 tt = _parse_one(args.table, args.n)

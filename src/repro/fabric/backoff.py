@@ -1,0 +1,105 @@
+"""Capped-exponential backoff with jitter — one policy, every retry path.
+
+The fabric retries in three places: the router re-dispatching a shard
+request after a timeout or a dead channel, a worker re-registering with
+a router that restarted, and the CLI's ``query ping --retries`` waiting
+for a slow-starting daemon.  They all draw their sleep schedule from the
+same :class:`RetryPolicy` so tuning (and reasoning about worst-case
+latency) happens in exactly one place.
+
+The schedule is *full jitter* over a capped exponential: attempt ``k``
+sleeps ``uniform(0, min(cap, base * 2**k))``.  Full jitter decorrelates
+a thundering herd of clients retrying against a recovering worker — the
+classic result from the AWS architecture blog — and the cap bounds the
+tail so a bounded ``attempts`` count gives a bounded worst-case drain.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently an operation is retried.
+
+    Args:
+        attempts: total tries (first call included); ``1`` disables
+            retrying entirely.
+        base_ms: first retry's mean delay ceiling.
+        cap_ms: upper bound every delay is clamped to.
+        jitter: ``True`` draws each delay uniformly from ``[0, ceiling]``
+            (full jitter); ``False`` sleeps the ceiling itself —
+            deterministic, for tests.
+        timeout_ms: per-attempt deadline; consumers that await replies
+            (the router's shard dispatch) time out each try at this and
+            then move to the next attempt.  ``None`` means no deadline.
+    """
+
+    attempts: int = 3
+    base_ms: float = 25.0
+    cap_ms: float = 500.0
+    jitter: bool = True
+    timeout_ms: float | None = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_ms < 0 or self.cap_ms < 0:
+            raise ValueError("base_ms and cap_ms must be >= 0")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {self.timeout_ms}")
+
+    @property
+    def timeout_s(self) -> float | None:
+        return None if self.timeout_ms is None else self.timeout_ms / 1000.0
+
+    def delay_ms(self, retry_index: int, rng: random.Random | None = None) -> float:
+        """Delay before retry number ``retry_index`` (0-based), in ms."""
+        ceiling = min(self.cap_ms, self.base_ms * (2.0 ** retry_index))
+        if not self.jitter:
+            return ceiling
+        return (rng.random() if rng is not None else random.random()) * ceiling
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The ``attempts - 1`` sleep durations between tries, in seconds."""
+        for retry_index in range(self.attempts - 1):
+            yield self.delay_ms(retry_index, rng) / 1000.0
+
+    def worst_case_s(self) -> float:
+        """Upper bound on time spent sleeping + waiting across all tries."""
+        sleeping = sum(
+            min(self.cap_ms, self.base_ms * (2.0 ** k))
+            for k in range(self.attempts - 1)
+        ) / 1000.0
+        waiting = (self.timeout_s or 0.0) * self.attempts
+        return sleeping + waiting
+
+
+def retry_call(
+    fn,
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...],
+    sleep=time.sleep,
+    rng: random.Random | None = None,
+):
+    """Call ``fn()`` under ``policy``, retrying the listed exception types.
+
+    The blocking counterpart of the router's async retry loop — the CLI
+    uses it for ``query ping --retries``.  The final failure is re-raised
+    unchanged so callers keep their typed error handling.
+    """
+    delays = policy.delays(rng)
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == policy.attempts - 1:
+                raise
+            sleep(next(delays))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,614 @@
+"""The fabric router: one client-facing daemon fronting many workers.
+
+:class:`RouterService` speaks the exact client protocol of a single
+classification daemon — NDJSON lines and the HTTP/1.0 front, same ops,
+same error taxonomy — so every existing client, the CLI, and the smoke
+jobs work against it unchanged.  Behind that front it routes:
+
+1. a table op's **shard key** is the signature digest of the query
+   (``n{n}-{digest}`` — NPN-invariant, so a query hashes exactly where
+   its class lives);
+2. the consistent-hash ring names the key's owner and replica workers;
+3. the request is dispatched over the owner's pipelined channel, where
+   concurrent requests to the same shard coalesce into burst writes the
+   worker's micro-batcher folds into packed engine passes;
+4. the reply is re-associated by request id and written back under the
+   client's own id.
+
+Robustness is the point, and it is layered:
+
+* **timeouts** — every dispatch attempt has a deadline
+  (:class:`RetryPolicy.timeout_ms`); a stalled worker costs one
+  deadline, never a hung client;
+* **retries** — failed attempts (timeout, dead channel, retryable
+  worker error) back off with capped-exponential + full-jitter delays
+  and re-pick the best live candidate, which after a death is the
+  replica that holds the same shard;
+* **hedging** — a SUSPECT owner (missed heartbeats, dead channel) is
+  raced against the ring successor; first good reply wins, and because
+  the successor replicates the shard its answer is the same verified
+  witness;
+* **drain-aware failover** — a worker's SIGTERM drain notice stops new
+  routing instantly while its in-flight backlog finishes on the still-
+  open channel;
+* **degraded mode** — a ring gap (all owners of a shard dead) fails
+  fast with the typed ``shard_unavailable`` error instead of hanging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro import obs
+from repro.core.msv import DEFAULT_PARTS, normalize_parts
+from repro.fabric.backoff import RetryPolicy
+from repro.fabric.channel import ChannelClosed, DispatchTimeout, WorkerChannel
+from repro.fabric.registry import (
+    DEFAULT_EVICT_MISSES,
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_SUSPECT_MISSES,
+    SUSPECT,
+    WorkerRegistry,
+)
+from repro.fabric.ring import HashRing, shard_key_of
+from repro.service import protocol
+from repro.service.base import LineProtocolServer, best_effort_id, query_int
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    ERROR_TYPES,
+    FABRIC_OPS,
+    REQUEST_OPS,
+    ProtocolError,
+    Request,
+)
+
+__all__ = ["RouterService", "DEFAULT_ROUTER_PORT", "RETRYABLE_WORKER_ERRORS"]
+
+DEFAULT_ROUTER_PORT = 8455
+
+#: Worker error replies worth re-dispatching (transient by nature);
+#: everything else (bad_request, internal, ...) propagates unchanged.
+RETRYABLE_WORKER_ERRORS = ("overloaded", "shutting_down")
+
+#: Router-side ops: everything a daemon accepts, plus the control plane.
+ROUTER_OPS = REQUEST_OPS + FABRIC_OPS
+
+_REG = obs.registry()
+_ROUTED = _REG.counter(
+    "repro_fabric_requests_total",
+    "Client requests entering the router, by op.",
+    labels=("op",),
+)
+_DISPATCHES = _REG.counter(
+    "repro_fabric_dispatches_total",
+    "Dispatch attempts to workers, by outcome (ok, worker_error, "
+    "timeout, channel_closed).",
+    labels=("outcome",),
+)
+_RETRIES = _REG.counter(
+    "repro_fabric_retries_total",
+    "Re-dispatches after a failed attempt, by failure reason.",
+    labels=("reason",),
+)
+_HEDGES = _REG.counter(
+    "repro_fabric_hedges_total",
+    "Hedged dispatches (suspect owner raced against its ring successor).",
+)
+_DEGRADED = _REG.counter(
+    "repro_fabric_degraded_total",
+    "Requests refused with shard_unavailable (ring gap, degraded mode).",
+)
+_DISPATCH_SECONDS = _REG.histogram(
+    "repro_fabric_dispatch_seconds",
+    "Per-attempt worker round-trip latency.",
+    labels=("worker",),
+)
+
+
+class RouterService(LineProtocolServer):
+    """Front-end router + worker registry + consistent-hash dispatch.
+
+    Args:
+        host/port: client-facing bind address.
+        policy: dispatch :class:`RetryPolicy` (attempts, backoff,
+            per-attempt timeout).
+        heartbeat_interval_s / suspect_misses / evict_misses: the
+            registry's trust ladder (see :class:`WorkerRegistry`).
+        trace_sample / trace_capacity / slow_ms: request tracing knobs,
+            mirroring the serving daemon's.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_ROUTER_PORT,
+        policy: RetryPolicy | None = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        suspect_misses: int = DEFAULT_SUSPECT_MISSES,
+        evict_misses: int = DEFAULT_EVICT_MISSES,
+        trace_sample: int = 8,
+        trace_capacity: int = 256,
+        slow_ms: float = 250.0,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.registry = WorkerRegistry(
+            heartbeat_interval_s=heartbeat_interval_s,
+            suspect_misses=suspect_misses,
+            evict_misses=evict_misses,
+        )
+        self.metrics = ServiceMetrics()
+        self.tracer = obs.Tracer(
+            capacity=trace_capacity, slow_ms=slow_ms, sample_every=trace_sample
+        )
+        self.ring: HashRing | None = None
+        self.parts: tuple[str, ...] = DEFAULT_PARTS
+        self.channels: dict[str, WorkerChannel] = {}
+        self._sweeper: asyncio.Task | None = None
+        self._retries = 0
+        self._hedges = 0
+        self._degraded = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle (LineProtocolServer hooks)
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        self._sweeper = asyncio.ensure_future(self._sweep_loop())
+
+    async def _drain(self) -> None:
+        """Answer in-flight dispatches, then drop the worker channels."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            await asyncio.gather(self._sweeper, return_exceptions=True)
+            self._sweeper = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.policy.worst_case_s() + 1.0
+        while (
+            any(ch.inflight for ch in self.channels.values())
+            and loop.time() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        for channel in self.channels.values():
+            await channel.close()
+
+    def _record_error(self, error_type: str) -> None:
+        self.metrics.record_error(error_type)
+
+    def _ready_message(self) -> str:
+        return f"routing on {self.address}"
+
+    async def _sweep_loop(self) -> None:
+        """Apply the missed-heartbeat ladder at twice the beat cadence."""
+        interval = self.registry.heartbeat_interval_s / 2.0
+        while True:
+            await asyncio.sleep(interval)
+            self.registry.sweep()
+
+    # -------------------------- NDJSON path ---------------------------
+
+    async def _answer_line(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        trace = self.tracer.start("?", transport="ndjson")
+        try:
+            request = protocol.parse_request(line, allowed_ops=ROUTER_OPS)
+        except ProtocolError as exc:
+            if trace is not None:
+                trace.op = "invalid"
+                trace.annotate(error=exc.error_type)
+                self.tracer.finish(trace)
+            await self._reject_line(writer, best_effort_id(line), exc)
+            return
+        if trace is not None:
+            trace.op = request.op
+        self.metrics.record_request(request.op)
+        _ROUTED.inc(op=request.op)
+        try:
+            result = await self._resolve(request, trace)
+        except ProtocolError as exc:
+            if trace is not None:
+                trace.annotate(error=exc.error_type)
+                self.tracer.finish(trace)
+            await self._reject_line(writer, request.id, exc)
+            return
+        self.metrics.record_reply(loop.time() - t0)
+        reply_start = time.perf_counter()
+        await self._write(writer, protocol.encode_line(
+            protocol.ok_reply(request.id, request.op, result)
+        ))
+        if trace is not None:
+            trace.add_span("reply", reply_start, time.perf_counter())
+            self.tracer.finish(trace)
+
+    # --------------------------- HTTP path -----------------------------
+
+    async def _route_http(
+        self, method: str, path: str, body: bytes, t0: float, query: str = ""
+    ) -> tuple[int, dict]:
+        loop = asyncio.get_running_loop()
+        if method == "GET" and path == "/healthz":
+            counts = self.registry.counts()
+            return 200, {
+                "status": "ok" if counts["alive"] else "degraded",
+                "role": "router",
+                "address": self.address,
+                "workers": counts,
+                "ring": self.ring.spec() if self.ring else None,
+            }
+        if method == "GET" and path == "/v1/stats":
+            self.metrics.record_request("stats")
+            snapshot = self._stats_snapshot()
+            self.metrics.record_reply(loop.time() - t0)
+            return 200, snapshot
+        if method == "GET" and path == "/v1/ring":
+            return 200, {
+                "ring": self.ring.spec() if self.ring else None,
+                "registry": self.registry.snapshot(),
+            }
+        if method == "GET" and path == "/v1/trace/recent":
+            limit = query_int(query, "limit", default=50)
+            return 200, {
+                "traces": self.tracer.recent(limit),
+                "slow": self.tracer.slow_recent(limit),
+                "tracer": self.tracer.snapshot(),
+            }
+        if method == "POST" and path in ("/v1/classify", "/v1/match"):
+            op = path.rsplit("/", 1)[1]
+            try:
+                data = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, ValueError):
+                raise ProtocolError("bad_request", "body is not valid JSON")
+            if not isinstance(data, dict):
+                raise ProtocolError("bad_request", "body must be a JSON object")
+            table = protocol.parse_table_payload(data)
+            self.metrics.record_request(op)
+            _ROUTED.inc(op=op)
+            trace = self.tracer.start(op, transport="http")
+            try:
+                result = await self._resolve(
+                    Request(op=op, id=data.get("id"), table=table), trace
+                )
+            except ProtocolError as exc:
+                if trace is not None:
+                    trace.annotate(error=exc.error_type)
+                    self.tracer.finish(trace)
+                raise
+            self.metrics.record_reply(loop.time() - t0)
+            self.tracer.finish(trace)
+            return 200, {"ok": True, "op": op, "result": result}
+        raise ProtocolError("bad_request", f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+
+    async def _resolve(self, request: Request, trace=None) -> dict:
+        if request.op == "ping":
+            return {
+                "pong": True,
+                "role": "router",
+                "workers": self.registry.counts(),
+            }
+        if request.op == "stats":
+            return self._stats_snapshot()
+        if request.op in FABRIC_OPS:
+            return self._control(request)
+        return await self._route_table_op(request, trace)
+
+    # ------------------------ control plane ----------------------------
+
+    def _control(self, request: Request) -> dict:
+        data = request.raw or {}
+        if request.op == "register":
+            return self._register(data)
+        worker_id = data.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ProtocolError(
+                "bad_request", f"{request.op} needs a string 'worker_id'"
+            )
+        if request.op == "heartbeat":
+            return {"known": self.registry.heartbeat(worker_id)}
+        # drain
+        known = self.registry.drain(worker_id)
+        return {"draining": known, "known": known}
+
+    def _register(self, data: dict) -> dict:
+        worker = data.get("worker")
+        if not isinstance(worker, dict):
+            raise ProtocolError(
+                "bad_request", "register needs a 'worker' object"
+            )
+        worker_id = worker.get("worker_id")
+        address = worker.get("address")
+        ring_spec = worker.get("ring")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ProtocolError("bad_request", "worker needs a 'worker_id'")
+        if not isinstance(address, str) or ":" not in address:
+            raise ProtocolError(
+                "bad_request", "worker needs an 'address' of form host:port"
+            )
+        if not isinstance(ring_spec, dict):
+            raise ProtocolError("bad_request", "worker needs a 'ring' spec")
+        try:
+            ring = HashRing.from_spec(ring_spec)
+        except ValueError as exc:
+            raise ProtocolError("bad_request", str(exc))
+        if worker_id not in ring.nodes:
+            raise ProtocolError(
+                "bad_request",
+                f"worker {worker_id!r} is not on its own ring {ring.nodes}",
+            )
+        parts = worker.get("parts")
+        if parts is not None:
+            try:
+                parts = normalize_parts(parts)
+            except ValueError as exc:
+                raise ProtocolError("bad_request", f"bad parts: {exc}")
+        if self.ring is None:
+            # First registration pins the fabric's shape; everyone after
+            # must agree, or shard ownership would diverge between the
+            # router's routing and the workers' loaded shards.
+            self.ring = ring
+            if parts is not None:
+                self.parts = parts
+        else:
+            if ring.spec() != self.ring.spec():
+                raise ProtocolError(
+                    "bad_request",
+                    f"ring mismatch: router has {self.ring.spec()}, "
+                    f"worker {worker_id!r} announced {ring.spec()}",
+                )
+            if parts is not None and parts != self.parts:
+                raise ProtocolError(
+                    "bad_request",
+                    f"MSV parts mismatch: router has {self.parts}, "
+                    f"worker {worker_id!r} announced {parts}",
+                )
+        capabilities = {
+            key: worker.get(key)
+            for key in (
+                "arities", "id_scheme", "classes", "learning", "engine", "pid"
+            )
+            if key in worker
+        }
+        self.registry.register(worker_id, address, capabilities)
+        stale = self.channels.get(worker_id)
+        if stale is not None and stale.address != address:
+            # The worker restarted elsewhere: drop the stale channel so
+            # the next dispatch dials the new address.
+            self.channels.pop(worker_id, None)
+            asyncio.ensure_future(stale.close())
+        return {
+            "registered": True,
+            "workers": self.registry.counts(),
+            "heartbeat_interval_s": self.registry.heartbeat_interval_s,
+        }
+
+    # ------------------------- data plane ------------------------------
+
+    async def _route_table_op(self, request: Request, trace=None) -> dict:
+        route_start = time.perf_counter()
+        key = shard_key_of(request.table, self.parts)
+        if self.ring is None:
+            self._degraded += 1
+            _DEGRADED.inc()
+            raise ProtocolError(
+                "shard_unavailable",
+                "no workers have registered with this router yet",
+            )
+        owners = self.ring.owners(key)
+        if trace is not None:
+            trace.add_span(
+                "route",
+                route_start,
+                time.perf_counter(),
+                {"shard": key, "owners": ",".join(owners)},
+            )
+        payload = {
+            "op": request.op,
+            "table": f"0x{request.table.to_hex()}",
+            "n": request.table.n,
+        }
+        delays = self.policy.delays()
+        dispatch_start = time.perf_counter()
+        failure: str = ""
+        failure_kind: str = "unavailable"
+        hedged = False
+        for attempt in range(self.policy.attempts):
+            routable = self.registry.routable(owners)
+            if not routable:
+                self._degraded += 1
+                _DEGRADED.inc()
+                raise ProtocolError(
+                    "shard_unavailable",
+                    f"no live worker holds shard {key} "
+                    f"(owners: {', '.join(owners)}); degraded until one "
+                    f"re-registers",
+                )
+            primary = routable[0]
+            hedge = None
+            if len(routable) > 1 and any(
+                self.registry.state_of(owner) == SUSPECT for owner in owners
+            ):
+                # Some owner of this shard is under suspicion (missed
+                # heartbeats or a dead channel): race the two best
+                # candidates instead of betting one deadline on either.
+                # ``routable`` sorts alive before suspect, so this pairs
+                # the healthy replica with the suspect owner; the first
+                # good reply wins and the straggler is cancelled.
+                hedge = routable[1]
+                hedged = True
+            try:
+                reply = await self._attempt(primary, hedge, payload)
+            except DispatchTimeout as exc:
+                failure, failure_kind = str(exc), "timeout"
+                _RETRIES.inc(reason="timeout")
+            except ChannelClosed as exc:
+                failure, failure_kind = str(exc), "unavailable"
+                _RETRIES.inc(reason="channel_closed")
+            else:
+                if reply.get("ok"):
+                    if trace is not None:
+                        trace.add_span(
+                            "dispatch",
+                            dispatch_start,
+                            time.perf_counter(),
+                            {
+                                "worker": primary,
+                                "attempts": attempt + 1,
+                                "hedged": hedged,
+                            },
+                        )
+                    return reply.get("result", {})
+                error = reply.get("error", {})
+                error_type = error.get("type", "internal")
+                message = error.get("message", "")
+                if error_type not in RETRYABLE_WORKER_ERRORS:
+                    raise ProtocolError(
+                        error_type if error_type in ERROR_TYPES else "internal",
+                        f"worker {primary}: {message}",
+                    )
+                failure = f"worker {primary}: [{error_type}] {message}"
+                failure_kind = "unavailable"
+                _RETRIES.inc(reason=error_type)
+            if attempt + 1 < self.policy.attempts:
+                self._retries += 1
+                await asyncio.sleep(next(delays))
+        raise ProtocolError(
+            failure_kind,
+            f"shard {key} gave no answer after {self.policy.attempts} "
+            f"attempts; last failure: {failure}",
+        )
+
+    async def _attempt(
+        self, primary: str, hedge: str | None, payload: dict
+    ) -> dict:
+        """One dispatch attempt, optionally hedged to the ring successor.
+
+        Returns the first ``ok`` reply; an error reply is returned only
+        when no racer did better; transport failures raise only when
+        every racer failed.
+        """
+        timeout = self.policy.timeout_s
+        primary_task = asyncio.ensure_future(
+            self._dispatch_to(primary, payload, timeout)
+        )
+        if hedge is None:
+            return await primary_task
+        self._hedges += 1
+        _HEDGES.inc()
+        tasks = {
+            primary_task,
+            asyncio.ensure_future(self._dispatch_to(hedge, payload, timeout)),
+        }
+        first_reply: dict | None = None
+        first_error: Exception | None = None
+        while tasks:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                exc = task.exception()
+                if exc is not None:
+                    first_error = first_error or exc
+                    continue
+                reply = task.result()
+                if reply.get("ok"):
+                    for straggler in tasks:
+                        straggler.cancel()
+                    if tasks:
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    return reply
+                first_reply = first_reply or reply
+        if first_reply is not None:
+            return first_reply
+        assert first_error is not None
+        raise first_error
+
+    async def _dispatch_to(
+        self, worker_id: str, payload: dict, timeout: float | None
+    ) -> dict:
+        channel = self._channel(worker_id)
+        t0 = time.perf_counter()
+        try:
+            reply = await channel.request(payload, timeout)
+        except ChannelClosed:
+            _DISPATCHES.inc(outcome="channel_closed")
+            # A dead channel is evidence of a dead worker well before the
+            # heartbeat ladder notices.
+            self.registry.mark_suspect(worker_id)
+            raise
+        except DispatchTimeout:
+            _DISPATCHES.inc(outcome="timeout")
+            self.registry.mark_suspect(worker_id)
+            raise
+        finally:
+            _DISPATCH_SECONDS.observe(
+                time.perf_counter() - t0, worker=worker_id
+            )
+        _DISPATCHES.inc(
+            outcome="ok" if reply.get("ok") else "worker_error"
+        )
+        return reply
+
+    def _channel(self, worker_id: str) -> WorkerChannel:
+        address = self.registry.address_of(worker_id)
+        if address is None:
+            raise ChannelClosed(f"worker {worker_id} is not registered")
+        channel = self.channels.get(worker_id)
+        if channel is None or channel.address != address or channel._closed:
+            if channel is not None:
+                asyncio.ensure_future(channel.close())
+            channel = WorkerChannel(
+                worker_id,
+                address,
+                connect_timeout=self.policy.timeout_s or 5.0,
+            )
+            self.channels[worker_id] = channel
+        return channel
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _stats_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["identity"] = self.identity()
+        snapshot["fabric"] = {
+            "retries": self._retries,
+            "hedges": self._hedges,
+            "degraded": self._degraded,
+            "channels": {
+                worker_id: {
+                    "connected": channel.connected,
+                    "inflight": channel.inflight,
+                }
+                for worker_id, channel in sorted(self.channels.items())
+            },
+        }
+        snapshot["ring"] = self.ring.spec() if self.ring else None
+        snapshot["registry"] = self.registry.snapshot()
+        return snapshot
+
+    def identity(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "role": "router",
+            "address": self.address,
+            "transports": ["ndjson", "http/1.0"],
+            "parts": list(self.parts),
+            "policy": {
+                "attempts": self.policy.attempts,
+                "base_ms": self.policy.base_ms,
+                "cap_ms": self.policy.cap_ms,
+                "timeout_ms": self.policy.timeout_ms,
+            },
+            "workers": self.registry.counts(),
+        }

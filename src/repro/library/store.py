@@ -485,6 +485,28 @@ class ClassLibrary:
                 merged._reslot(entry)
         return merged
 
+    def subset(self, keep) -> "ClassLibrary":
+        """A new library holding only the entries ``keep(entry)`` accepts.
+
+        The distributed fabric's shard loader: a worker keeps the
+        classes whose signature-digest shard key it owns on the
+        consistent-hash ring (see
+        :meth:`repro.fabric.ring.HashRing.shard_filter`) and drops the
+        rest, so N workers hold ~1/N of the library each (times the
+        replication factor).  Entries are shared by reference — they are
+        frozen dataclasses — and *not* re-verified: the source library
+        already verified them at load time.  ``kernel_cache_dir`` is
+        inherited so the shard keeps using the on-disk gather tables.
+        """
+        shard = ClassLibrary(self.parts, self.id_scheme)
+        shard.classes = {
+            class_id: entry
+            for class_id, entry in self.classes.items()
+            if keep(entry)
+        }
+        shard.kernel_cache_dir = self.kernel_cache_dir
+        return shard
+
     def _reslot(self, entry: NPNClassEntry) -> None:
         """Place a digest-scheme entry in the first compatible chain slot.
 

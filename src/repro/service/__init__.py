@@ -23,7 +23,12 @@ CLI: ``repro-npn serve`` / ``repro-npn query``.
 """
 
 from repro.service.cache import MatchCache
-from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+    parse_address,
+)
 from repro.service.coalescer import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_PENDING,
@@ -47,6 +52,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailableError",
     "ThreadedService",
     "ProtocolError",
     "parse_address",

@@ -1,0 +1,371 @@
+"""Shared asyncio front of every daemon in this repo.
+
+Both network daemons — the single-box classification daemon
+(:class:`~repro.service.server.ClassificationService`) and the fabric
+router (:class:`~repro.fabric.router.RouterService`) — speak the same
+two sniffed protocols on one TCP port: pipelined NDJSON lines and
+one-shot HTTP/1.0.  :class:`LineProtocolServer` owns everything that is
+identical between them:
+
+* listener lifecycle (bind, graceful drain on SIGTERM/SIGINT, the
+  parseable ready/exit banner lines);
+* connection tracking and teardown;
+* NDJSON framing — one reply task per line, bounded in-flight replies
+  so a write-only client cannot grow the daemon's buffers;
+* HTTP framing — request line, headers, bounded body, the ``/metrics``
+  Prometheus text special case;
+* the typed-error reject path.
+
+Subclasses provide the *meaning* of a request via four hooks:
+
+``_answer_line(writer, line)``
+    resolve one NDJSON request line and write its reply line;
+``_route_http(method, path, body, t0, query)``
+    resolve one HTTP request to ``(status, json_payload)``;
+``_record_error(error_type)``
+    count a rejected request in the subclass's metrics;
+``_drain()``
+    subclass-specific backlog drain, run after the listener closed and
+    before connections are torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro import obs
+from repro.service import protocol
+from repro.service.protocol import (
+    HTTP_METHODS,
+    HTTP_STATUS_BY_ERROR,
+    MAX_LINE_BYTES,
+    ProtocolError,
+)
+
+__all__ = ["LineProtocolServer", "best_effort_id", "query_int"]
+
+#: Most un-replied requests one connection may have in flight; beyond it
+#: the read loop pauses until a reply completes.  Together with the
+#: per-reply ``drain()`` this bounds the daemon's memory per connection
+#: even against a client that pipelines forever without reading.
+MAX_INFLIGHT_REPLIES = 1024
+
+
+class LineProtocolServer:
+    """One TCP listener speaking sniffed NDJSON + HTTP/1.0."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    async def _answer_line(
+        self, writer: asyncio.StreamWriter, line: bytes
+    ) -> None:
+        raise NotImplementedError
+
+    async def _route_http(
+        self, method: str, path: str, body: bytes, t0: float, query: str = ""
+    ) -> tuple[int, dict]:
+        raise NotImplementedError
+
+    def _record_error(self, error_type: str) -> None:
+        """Count one rejected request (subclass metrics)."""
+
+    async def _drain(self) -> None:
+        """Answer the backlog during :meth:`stop` (subclass-specific)."""
+
+    def _ready_message(self) -> str:
+        return f"listening on {self.address}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listener."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: close listener, answer backlog, drop connections."""
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drain()
+        # Closing the transports feeds EOF to every connection reader, so
+        # handlers exit their read loops normally — cancellation is only
+        # the fallback for a handler that still hasn't finished.
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                list(self._connections), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to begin its drain (signal-safe)."""
+        self._stopping.set()
+
+    async def serve_forever(self, ready_message: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return.
+
+        ``ready_message`` prints one parseable line on stdout once the
+        socket is bound — the CLI, the CI smoke jobs, the chaos harness
+        and the drain tests all key off it.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._on_signal)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        if ready_message:
+            print(self._ready_message(), flush=True)
+        try:
+            await self._stopping.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+            await self.stop()
+            if ready_message:
+                print("drained, bye", flush=True)
+
+    def _on_signal(self) -> None:
+        """First SIGTERM/SIGINT starts the drain; repeats are ignored
+        (the drain is already as fast as the backlog allows)."""
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._writers.add(writer)
+        try:
+            try:
+                first = await self._read_line(reader)
+            except ProtocolError as exc:
+                await self._reject_line(writer, None, exc)
+                return
+            if first is None:
+                return
+            if any(first.startswith(verb) for verb in HTTP_METHODS):
+                await self._serve_http(first, reader, writer)
+            else:
+                await self._serve_ndjson(first, reader, writer)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass  # client went away / drain cancelled the connection
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                # CancelledError only lands here when a drain cancelled a
+                # straggler mid-close; the coroutine ends either way.
+                pass
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One line, or ``None`` on EOF; typed error when over the limit."""
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise ProtocolError(
+                "payload_too_large",
+                f"request line exceeds {MAX_LINE_BYTES} bytes",
+            ) from None
+        return line if line else None
+
+    # -------------------------- NDJSON path ---------------------------
+
+    async def _serve_ndjson(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        replies: set[asyncio.Task] = set()
+        line: bytes | None = first
+        try:
+            while line is not None:
+                if line.strip():
+                    task = asyncio.ensure_future(self._answer_line(writer, line))
+                    replies.add(task)
+                    task.add_done_callback(replies.discard)
+                    if len(replies) >= MAX_INFLIGHT_REPLIES:
+                        # Stop reading until the client consumes replies:
+                        # reply tasks block on drain(), so a client that
+                        # writes but never reads parks here instead of
+                        # growing the daemon's buffers.
+                        await asyncio.wait(
+                            replies, return_when=asyncio.FIRST_COMPLETED
+                        )
+                try:
+                    line = await self._read_line(reader)
+                except ProtocolError as exc:
+                    # Framing is lost beyond an oversized line: reply,
+                    # then hang up instead of guessing where it ends.
+                    await self._reject_line(writer, None, exc)
+                    return
+        finally:
+            if replies:
+                await asyncio.gather(*replies, return_exceptions=True)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reject_line(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: object,
+        exc: ProtocolError,
+    ) -> None:
+        self._record_error(exc.error_type)
+        await self._write(writer, protocol.encode_line(
+            protocol.error_reply(request_id, exc.error_type, exc.message)
+        ))
+
+    async def _write(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
+        """One whole-line write + drain (flow control against slow readers)."""
+        if writer.transport is None or writer.transport.is_closing():
+            return
+        writer.write(payload)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away; the read loop will see EOF
+
+    # --------------------------- HTTP path -----------------------------
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            method, path, body = await self._read_http(request_line, reader)
+            path, _, query = path.partition("?")
+            if method == "GET" and path == "/metrics":
+                # Prometheus text exposition, not JSON: bypass the dict
+                # routing and write the rendered registry directly.
+                await self._write(
+                    writer,
+                    protocol.http_text_response(200, obs.registry().render()),
+                )
+                return
+            status, payload = await self._route_http(
+                method, path, body, t0, query
+            )
+        except ProtocolError as exc:
+            self._record_error(exc.error_type)
+            status = HTTP_STATUS_BY_ERROR[exc.error_type]
+            payload = {"error": {"type": exc.error_type, "message": exc.message}}
+        await self._write(writer, protocol.http_response(status, payload))
+
+    async def _read_http(
+        self, request_line: bytes, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            method, path, _version = request_line.decode().split(None, 2)
+        except (UnicodeDecodeError, ValueError):
+            raise ProtocolError("bad_request", "malformed HTTP request line")
+        content_length = 0
+        while True:
+            header = await self._read_line(reader)
+            if header is None or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ProtocolError("bad_request", "bad Content-Length")
+        if content_length > MAX_LINE_BYTES:
+            raise ProtocolError(
+                "payload_too_large",
+                f"body exceeds {MAX_LINE_BYTES} bytes",
+            )
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method.upper(), path, body
+
+
+def query_int(query: str, name: str, default: int) -> int:
+    """``limit=N``-style query parameter, tolerant of junk."""
+    for part in query.split("&"):
+        key, sep, value = part.partition("=")
+        if sep and key == name:
+            try:
+                return max(0, int(value))
+            except ValueError:
+                raise ProtocolError(
+                    "bad_request", f"query parameter {name} must be an integer"
+                ) from None
+    return default
+
+
+def best_effort_id(line: bytes) -> object:
+    """Recover an ``id`` from a rejected request so the client can map it."""
+    try:
+        data = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(data, dict):
+        value = data.get("id")
+        if isinstance(value, (str, int, float)) or value is None:
+            return value
+    return None

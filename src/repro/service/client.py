@@ -13,7 +13,11 @@ native line protocol.  Two calling styles:
 
 Errors come back as :class:`ServiceError` carrying the daemon's typed
 category (``overloaded``, ``bad_request``, ...), so callers can retry
-or fail per type.
+or fail per type.  Transport failures — refused dial, reset connection,
+a daemon that hung up or stopped answering — surface as
+:class:`ServiceUnavailableError` (type ``unavailable``), the signal
+retry loops key on: it means *try again / try elsewhere*, unlike a
+``bad_request`` which will fail identically forever.
 """
 
 from __future__ import annotations
@@ -25,7 +29,13 @@ from repro.core.transforms import NPNTransform
 from repro.core.truth_table import TruthTable
 from repro.service.protocol import MAX_LINE_BYTES
 
-__all__ = ["ServiceClient", "ServiceError", "parse_address", "http_get"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "parse_address",
+    "http_get",
+]
 
 
 class ServiceError(RuntimeError):
@@ -35,6 +45,18 @@ class ServiceError(RuntimeError):
         super().__init__(f"[{error_type}] {message}")
         self.error_type = error_type
         self.message = message
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon cannot be reached (refused, reset, hung up, timed out).
+
+    A subclass so existing ``except ServiceError`` handlers still catch
+    it; a distinct type so retry loops (``query ping --retries``, the
+    fabric tests) can retry *only* transport failures.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("unavailable", message)
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -90,25 +112,44 @@ class ServiceClient:
 
     Usable as a context manager; connects lazily on first use.
 
+    Args:
+        timeout: read deadline per reply, seconds (``None`` blocks
+            forever — only sensible in tests).
+        connect_timeout: dial deadline, seconds; defaults to ``timeout``.
+            Separate knobs because a healthy dial is milliseconds while
+            a legitimate reply may trail a deep engine batch.
+
     Example:
         >>> with ServiceClient("127.0.0.1", 8355) as client:  # doctest: +SKIP
         ...     client.match("0xe8", n=3)["class_id"]
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8355, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8355,
+        timeout: float | None = 30.0,
+        connect_timeout: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (
+            timeout if connect_timeout is None else connect_timeout
+        )
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
 
     @classmethod
-    def from_address(cls, address: str, timeout: float = 30.0) -> "ServiceClient":
+    def from_address(
+        cls,
+        address: str,
+        timeout: float | None = 30.0,
+        connect_timeout: float | None = None,
+    ) -> "ServiceClient":
         host, port = parse_address(address)
-        return cls(host, port, timeout)
+        return cls(host, port, timeout, connect_timeout)
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -116,9 +157,15 @@ class ServiceClient:
 
     def connect(self) -> "ServiceClient":
         if self._sock is None:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                raise ServiceUnavailableError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from None
+            sock.settimeout(self.timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
             self._file = sock.makefile("rwb")
@@ -179,8 +226,7 @@ class ServiceClient:
         payload = b"".join(
             json.dumps(req, sort_keys=True).encode() + b"\n" for req in requests
         )
-        self._file.write(payload)
-        self._file.flush()
+        self._send(payload)
         by_id: dict[object, dict] = {}
         for _ in requests:
             reply = self._read_reply()
@@ -249,8 +295,7 @@ class ServiceClient:
 
     def _roundtrip(self, request: dict) -> dict:
         self.connect()
-        self._file.write(json.dumps(request, sort_keys=True).encode() + b"\n")
-        self._file.flush()
+        self._send(json.dumps(request, sort_keys=True).encode() + b"\n")
         reply = self._read_reply()
         if not reply.get("ok"):
             error = reply.get("error", {})
@@ -259,10 +304,37 @@ class ServiceClient:
             )
         return reply["result"]
 
+    def _send(self, payload: bytes) -> None:
+        try:
+            self._file.write(payload)
+            self._file.flush()
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailableError(
+                f"send to {self.host}:{self.port} failed: {exc}"
+            ) from None
+
     def _read_reply(self) -> dict:
-        line = self._file.readline(MAX_LINE_BYTES + 2)
+        try:
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+        except socket.timeout:
+            # The connection may still be fine (slow daemon); closing it
+            # keeps this client's state simple: next call redials.
+            self.close()
+            raise ServiceUnavailableError(
+                f"{self.host}:{self.port} sent no reply within "
+                f"{self.timeout}s"
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailableError(
+                f"read from {self.host}:{self.port} failed: {exc}"
+            ) from None
         if not line:
-            raise ServiceError("internal", "connection closed by the daemon")
+            self.close()
+            raise ServiceUnavailableError(
+                f"{self.host}:{self.port} closed the connection"
+            )
         try:
             reply = json.loads(line)
         except json.JSONDecodeError as exc:

@@ -37,6 +37,7 @@ so a SIGTERM'd learning daemon leaves a clean artifact behind.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -210,8 +211,21 @@ class Coalescer:
             # Drain hook: every queued request is answered by now, so
             # the WAL is quiescent — fold it into the library image,
             # then release the learner lock for the next daemon.
-            self.learner.compact()
-            self.learner.close()
+            # Compaction is best-effort: a failure (full disk, corrupt
+            # segment) must not propagate, or it would abort the server's
+            # teardown mid-drain and the already-answered backlog replies
+            # would be dropped with the connections.  The WAL segments
+            # stay on disk either way — the learned classes replay on the
+            # next open or fold in via ``repro-npn library compact``.
+            try:
+                self.learner.compact()
+            except Exception:
+                logging.getLogger("repro.service.coalescer").exception(
+                    "drain-time WAL compaction failed; segments kept "
+                    "for replay"
+                )
+            finally:
+                self.learner.close()
 
     # ------------------------------------------------------------------
     # Submission

@@ -20,19 +20,30 @@ so the framing, limits and error taxonomy are testable without sockets.
 
 Error taxonomy (the ``type`` field of error replies):
 
-=================== ====================================================
+==================== ====================================================
 ``bad_request``      unparseable JSON, unknown op, bad table payload
 ``payload_too_large`` a request line above :data:`MAX_LINE_BYTES`
 ``overloaded``       the coalescer's pending queue is full (backpressure)
 ``shutting_down``    the daemon is draining after SIGTERM/SIGINT
+``unavailable``      a fabric shard stayed unreachable through retries
+``shard_unavailable`` no live worker owns the request's shard (ring gap)
+``timeout``          a fabric dispatch exceeded its per-request deadline
 ``internal``         unexpected server-side failure
-=================== ====================================================
+==================== ====================================================
+
+The last three belong to the distributed fabric (:mod:`repro.fabric`):
+a single daemon never emits them, but the router daemon speaks this
+exact protocol to clients, so they live in the shared taxonomy.  The
+fabric's *control plane* — worker registration, heartbeats, and drain
+notices — rides the same NDJSON framing with its own op set
+(:data:`FABRIC_OPS`); those ops are only accepted by the router
+(``parse_request(line, allowed_ops=...)``).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.truth_table import TruthTable
 
@@ -41,6 +52,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "REQUEST_OPS",
     "TABLE_OPS",
+    "FABRIC_OPS",
     "ERROR_TYPES",
     "ProtocolError",
     "Request",
@@ -67,12 +79,17 @@ PROTOCOL_VERSION = 1
 REQUEST_OPS = ("classify", "match", "stats", "ping")
 #: Ops that carry a truth-table payload.
 TABLE_OPS = ("classify", "match")
+#: Control-plane ops of the distributed fabric (worker -> router).
+FABRIC_OPS = ("register", "heartbeat", "drain")
 
 ERROR_TYPES = (
     "bad_request",
     "payload_too_large",
     "overloaded",
     "shutting_down",
+    "unavailable",
+    "shard_unavailable",
+    "timeout",
     "internal",
 )
 
@@ -93,18 +110,29 @@ class ProtocolError(Exception):
 
 @dataclass(frozen=True)
 class Request:
-    """One validated NDJSON request."""
+    """One validated NDJSON request.
+
+    ``raw`` keeps the decoded JSON object for ops whose payload goes
+    beyond ``op``/``id``/``table`` — the fabric control plane reads its
+    worker descriptors from it.  It is deliberately excluded from
+    equality so table requests compare by what they *mean*.
+    """
 
     op: str
     id: object = None
     table: TruthTable | None = None
+    raw: dict | None = field(default=None, compare=False, repr=False)
 
 
-def parse_request(line: bytes | str) -> Request:
+def parse_request(
+    line: bytes | str, allowed_ops: tuple[str, ...] = REQUEST_OPS
+) -> Request:
     """Validate one NDJSON line into a :class:`Request`.
 
     Raises :class:`ProtocolError` (``bad_request``) on malformed JSON,
-    non-object payloads, unknown ops, or bad table payloads.
+    non-object payloads, unknown ops, or bad table payloads.  The router
+    daemon widens ``allowed_ops`` with :data:`FABRIC_OPS` to accept the
+    worker control plane; a plain serving daemon keeps rejecting those.
     """
     if isinstance(line, bytes):
         if len(line) > MAX_LINE_BYTES:
@@ -125,14 +153,14 @@ def parse_request(line: bytes | str) -> Request:
             "bad_request", f"request must be a JSON object, got {type(data).__name__}"
         )
     op = data.get("op")
-    if op not in REQUEST_OPS:
+    if op not in allowed_ops:
         raise ProtocolError(
             "bad_request",
-            f"unknown op {op!r}; known ops: {', '.join(REQUEST_OPS)}",
+            f"unknown op {op!r}; known ops: {', '.join(allowed_ops)}",
         )
     request_id = data.get("id")
     table = parse_table_payload(data) if op in TABLE_OPS else None
-    return Request(op=op, id=request_id, table=table)
+    return Request(op=op, id=request_id, table=table, raw=data)
 
 
 def parse_table_payload(data: dict) -> TruthTable:
@@ -247,6 +275,7 @@ _HTTP_STATUS_TEXT = {
     404: "Not Found",
     413: "Payload Too Large",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
     500: "Internal Server Error",
 }
 
@@ -256,6 +285,9 @@ HTTP_STATUS_BY_ERROR = {
     "payload_too_large": 413,
     "overloaded": 503,
     "shutting_down": 503,
+    "unavailable": 503,
+    "shard_unavailable": 503,
+    "timeout": 504,
     "internal": 500,
 }
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import asyncio
 import threading
 
-from repro.library.store import ClassLibrary
+from repro.service.base import LineProtocolServer
 from repro.service.server import ClassificationService
 
 __all__ = ["ThreadedService"]
@@ -25,16 +25,30 @@ _START_TIMEOUT = 30.0
 
 
 class ThreadedService:
-    """A :class:`ClassificationService` running on a private loop thread.
+    """A daemon running on a private loop thread.
 
-    Keyword arguments pass through to :class:`ClassificationService`;
-    the default ``port=0`` binds a free port, read it from :attr:`port`
+    Pass a :class:`ClassLibrary` and keyword arguments to host a
+    :class:`ClassificationService`; or pass any already-constructed
+    :class:`LineProtocolServer` subclass (a fabric
+    :class:`~repro.fabric.router.RouterService`, a
+    :class:`~repro.fabric.worker.FabricWorker`) to host that instead.
+    The default ``port=0`` binds a free port, read it from :attr:`port`
     or :attr:`address` after :meth:`start`.
     """
 
-    def __init__(self, library: ClassLibrary, **service_kwargs) -> None:
-        service_kwargs.setdefault("port", 0)
-        self.service = ClassificationService(library, **service_kwargs)
+    def __init__(self, library_or_service, **service_kwargs) -> None:
+        if isinstance(library_or_service, LineProtocolServer):
+            if service_kwargs:
+                raise TypeError(
+                    "keyword arguments only apply when passing a library; "
+                    "configure the service instance directly"
+                )
+            self.service = library_or_service
+        else:
+            service_kwargs.setdefault("port", 0)
+            self.service = ClassificationService(
+                library_or_service, **service_kwargs
+            )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()

@@ -3,7 +3,10 @@
 :class:`ClassificationService` binds one TCP port and speaks both wire
 protocols of :mod:`repro.service.protocol` — the first request line is
 sniffed, so ``nc`` + NDJSON and ``curl /healthz`` hit the same address.
-Requests flow::
+The socket front (framing, connection lifecycle, drain-on-signal) lives
+in :class:`~repro.service.base.LineProtocolServer`, shared with the
+fabric router; this module supplies the request *meaning*.  Requests
+flow::
 
     connection reader ──> parse ──> Coalescer.submit ──> packed batch
                                                             │
@@ -24,11 +27,16 @@ from __future__ import annotations
 import asyncio
 import json
 import os
-import signal
 import time
 
 from repro import obs
 from repro.library.store import ClassLibrary
+from repro.service.base import (
+    MAX_INFLIGHT_REPLIES,
+    LineProtocolServer,
+    best_effort_id,
+    query_int,
+)
 from repro.service.coalescer import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_PENDING,
@@ -37,19 +45,14 @@ from repro.service.coalescer import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service import protocol
-from repro.service.protocol import (
-    HTTP_METHODS,
-    HTTP_STATUS_BY_ERROR,
-    MAX_LINE_BYTES,
-    ProtocolError,
-    Request,
-)
+from repro.service.protocol import ProtocolError, Request
 
 __all__ = [
     "ClassificationService",
     "DEFAULT_PORT",
     "DEFAULT_SLOW_MS",
     "DEFAULT_TRACE_SAMPLE",
+    "MAX_INFLIGHT_REPLIES",
 ]
 
 DEFAULT_PORT = 8355
@@ -68,14 +71,8 @@ DEFAULT_TRACE_CAPACITY = 256
 #: ``serve --trace-sample 1`` opts into tracing every request.
 DEFAULT_TRACE_SAMPLE = 8
 
-#: Most un-replied requests one connection may have in flight; beyond it
-#: the read loop pauses until a reply completes.  Together with the
-#: per-reply ``drain()`` this bounds the daemon's memory per connection
-#: even against a client that pipelines forever without reading.
-MAX_INFLIGHT_REPLIES = 1024
 
-
-class ClassificationService:
+class ClassificationService(LineProtocolServer):
     """One daemon: a listener, a coalescer, and a loaded class library.
 
     Args:
@@ -112,9 +109,8 @@ class ClassificationService:
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         trace_sample: int = DEFAULT_TRACE_SAMPLE,
     ) -> None:
+        super().__init__(host=host, port=port)
         self.library = library
-        self.host = host
-        self._requested_port = port
         self.metrics = ServiceMetrics()
         self.tracer = obs.Tracer(
             capacity=trace_capacity,
@@ -131,183 +127,28 @@ class ClassificationService:
             metrics=self.metrics,
             learner=learner,
         )
-        self._server: asyncio.base_events.Server | None = None
-        self._connections: set[asyncio.Task] = set()
-        self._writers: set[asyncio.StreamWriter] = set()
-        self._stopping = asyncio.Event()
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (LineProtocolServer hooks)
     # ------------------------------------------------------------------
-
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ``port=0`` to the kernel's pick)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
-    @property
-    def address(self) -> str:
-        return f"{self.host}:{self.port}"
 
     async def start(self) -> None:
         """Bind the listener and launch the coalescer worker."""
         self.coalescer.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            host=self.host,
-            port=self._requested_port,
-            limit=MAX_LINE_BYTES + 2,
+        await super().start()
+
+    async def _drain(self) -> None:
+        await self.coalescer.stop()
+
+    def _record_error(self, error_type: str) -> None:
+        self.metrics.record_error(error_type)
+
+    def _ready_message(self) -> str:
+        return (
+            f"serving {self.library.num_classes} classes on {self.address}"
         )
 
-    async def stop(self) -> None:
-        """Graceful drain: close listener, answer backlog, drop connections."""
-        self._stopping.set()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        await self.coalescer.stop()
-        # Closing the transports feeds EOF to every connection reader, so
-        # handlers exit their read loops normally — cancellation is only
-        # the fallback for a handler that still hasn't finished.
-        for writer in list(self._writers):
-            writer.close()
-        if self._connections:
-            _done, pending = await asyncio.wait(
-                list(self._connections), timeout=5.0
-            )
-            for task in pending:
-                task.cancel()
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
-
-    async def serve_forever(self, ready_message: bool = True) -> None:
-        """Run until SIGTERM/SIGINT, then drain and return.
-
-        ``ready_message`` prints one parseable line on stdout once the
-        socket is bound — the CLI, CI smoke job, and the drain test all
-        key off it.
-        """
-        await self.start()
-        loop = asyncio.get_running_loop()
-        for signum in (signal.SIGTERM, signal.SIGINT):
-            try:
-                loop.add_signal_handler(signum, self._stopping.set)
-            except NotImplementedError:  # pragma: no cover - non-POSIX loops
-                pass
-        if ready_message:
-            print(
-                f"serving {self.library.num_classes} classes "
-                f"on {self.address}",
-                flush=True,
-            )
-        try:
-            await self._stopping.wait()
-        finally:
-            for signum in (signal.SIGTERM, signal.SIGINT):
-                try:
-                    loop.remove_signal_handler(signum)
-                except NotImplementedError:  # pragma: no cover
-                    pass
-            await self.stop()
-            if ready_message:
-                print("drained, bye", flush=True)
-
-    # ------------------------------------------------------------------
-    # Connection handling
-    # ------------------------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-            task.add_done_callback(self._connections.discard)
-        self._writers.add(writer)
-        try:
-            try:
-                first = await self._read_line(reader)
-            except ProtocolError as exc:
-                await self._reject_line(writer, None, exc)
-                return
-            if first is None:
-                return
-            if any(first.startswith(verb) for verb in HTTP_METHODS):
-                await self._serve_http(first, reader, writer)
-            else:
-                await self._serve_ndjson(first, reader, writer)
-        except (
-            ConnectionResetError,
-            BrokenPipeError,
-            asyncio.CancelledError,
-        ):
-            pass  # client went away / drain cancelled the connection
-        finally:
-            self._writers.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (
-                ConnectionResetError,
-                BrokenPipeError,
-                OSError,
-                asyncio.CancelledError,
-            ):
-                # CancelledError only lands here when a drain cancelled a
-                # straggler mid-close; the coroutine ends either way.
-                pass
-
-    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
-        """One line, or ``None`` on EOF; typed error when over the limit."""
-        try:
-            line = await reader.readline()
-        except ValueError:
-            raise ProtocolError(
-                "payload_too_large",
-                f"request line exceeds {MAX_LINE_BYTES} bytes",
-            ) from None
-        return line if line else None
-
     # -------------------------- NDJSON path ---------------------------
-
-    async def _serve_ndjson(
-        self,
-        first: bytes,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        replies: set[asyncio.Task] = set()
-        line: bytes | None = first
-        try:
-            while line is not None:
-                if line.strip():
-                    task = asyncio.ensure_future(self._answer_line(writer, line))
-                    replies.add(task)
-                    task.add_done_callback(replies.discard)
-                    if len(replies) >= MAX_INFLIGHT_REPLIES:
-                        # Stop reading until the client consumes replies:
-                        # reply tasks block on drain(), so a client that
-                        # writes but never reads parks here instead of
-                        # growing the daemon's buffers.
-                        await asyncio.wait(
-                            replies, return_when=asyncio.FIRST_COMPLETED
-                        )
-                try:
-                    line = await self._read_line(reader)
-                except ProtocolError as exc:
-                    # Framing is lost beyond an oversized line: reply,
-                    # then hang up instead of guessing where it ends.
-                    await self._reject_line(writer, None, exc)
-                    return
-        finally:
-            if replies:
-                await asyncio.gather(*replies, return_exceptions=True)
-            try:
-                await writer.drain()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
 
     async def _answer_line(
         self, writer: asyncio.StreamWriter, line: bytes
@@ -323,7 +164,7 @@ class ClassificationService:
                 trace.op = "invalid"
                 trace.annotate(error=exc.error_type)
                 self.tracer.finish(trace)
-            request_id = _best_effort_id(line)
+            request_id = best_effort_id(line)
             await self._reject_line(writer, request_id, exc)
             return
         if trace is not None:
@@ -347,84 +188,7 @@ class ClassificationService:
             trace.add_span("reply", reply_start, time.perf_counter())
             self.tracer.finish(trace)
 
-    async def _reject_line(
-        self,
-        writer: asyncio.StreamWriter,
-        request_id: object,
-        exc: ProtocolError,
-    ) -> None:
-        self.metrics.record_error(exc.error_type)
-        await self._write(writer, protocol.encode_line(
-            protocol.error_reply(request_id, exc.error_type, exc.message)
-        ))
-
-    async def _write(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
-        """One whole-line write + drain (flow control against slow readers)."""
-        if writer.transport is None or writer.transport.is_closing():
-            return
-        writer.write(payload)
-        try:
-            await writer.drain()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass  # client went away; the read loop will see EOF
-
     # --------------------------- HTTP path -----------------------------
-
-    async def _serve_http(
-        self,
-        request_line: bytes,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        loop = asyncio.get_running_loop()
-        t0 = loop.time()
-        try:
-            method, path, body = await self._read_http(request_line, reader)
-            path, _, query = path.partition("?")
-            if method == "GET" and path == "/metrics":
-                # Prometheus text exposition, not JSON: bypass the dict
-                # routing and write the rendered registry directly.
-                await self._write(
-                    writer,
-                    protocol.http_text_response(200, obs.registry().render()),
-                )
-                return
-            status, payload = await self._route_http(
-                method, path, body, t0, query
-            )
-        except ProtocolError as exc:
-            self.metrics.record_error(exc.error_type)
-            status = HTTP_STATUS_BY_ERROR[exc.error_type]
-            payload = {"error": {"type": exc.error_type, "message": exc.message}}
-        await self._write(writer, protocol.http_response(status, payload))
-
-    async def _read_http(
-        self, request_line: bytes, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
-        try:
-            method, path, _version = request_line.decode().split(None, 2)
-        except (UnicodeDecodeError, ValueError):
-            raise ProtocolError("bad_request", "malformed HTTP request line")
-        content_length = 0
-        while True:
-            header = await self._read_line(reader)
-            if header is None or header in (b"\r\n", b"\n"):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise ProtocolError("bad_request", "bad Content-Length")
-        if content_length > MAX_LINE_BYTES:
-            raise ProtocolError(
-                "payload_too_large",
-                f"body exceeds {MAX_LINE_BYTES} bytes",
-            )
-        body = (
-            await reader.readexactly(content_length) if content_length else b""
-        )
-        return method.upper(), path, body
 
     async def _route_http(
         self, method: str, path: str, body: bytes, t0: float, query: str = ""
@@ -445,7 +209,7 @@ class ClassificationService:
             self.metrics.record_reply(loop.time() - t0)
             return 200, snapshot
         if method == "GET" and path == "/v1/trace/recent":
-            limit = _query_int(query, "limit", default=50)
+            limit = query_int(query, "limit", default=50)
             return 200, {
                 "traces": self.tracer.recent(limit),
                 "slow": self.tracer.slow_recent(limit),
@@ -513,28 +277,7 @@ class ClassificationService:
         }
 
 
-def _query_int(query: str, name: str, default: int) -> int:
-    """``limit=N``-style query parameter, tolerant of junk."""
-    for part in query.split("&"):
-        key, sep, value = part.partition("=")
-        if sep and key == name:
-            try:
-                return max(0, int(value))
-            except ValueError:
-                raise ProtocolError(
-                    "bad_request", f"query parameter {name} must be an integer"
-                ) from None
-    return default
-
-
-def _best_effort_id(line: bytes) -> object:
-    """Recover an ``id`` from a rejected request so the client can map it."""
-    try:
-        data = json.loads(line)
-    except (ValueError, UnicodeDecodeError):
-        return None
-    if isinstance(data, dict):
-        value = data.get("id")
-        if isinstance(value, (str, int, float)) or value is None:
-            return value
-    return None
+# Backwards-compatible aliases: these helpers grew up here and moved to
+# repro.service.base when the router started sharing the socket front.
+_query_int = query_int
+_best_effort_id = best_effort_id

@@ -1,0 +1,101 @@
+"""RetryPolicy schedule semantics + the blocking retry_call helper."""
+
+import random
+
+import pytest
+
+from repro.fabric.backoff import RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_deterministic_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            attempts=5, base_ms=10.0, cap_ms=45.0, jitter=False
+        )
+        assert list(policy.delays()) == [0.010, 0.020, 0.040, 0.045]
+
+    def test_jitter_stays_within_ceiling(self):
+        policy = RetryPolicy(attempts=8, base_ms=10.0, cap_ms=80.0)
+        rng = random.Random(7)
+        for retry_index in range(7):
+            ceiling = min(80.0, 10.0 * 2**retry_index)
+            for _ in range(50):
+                delay = policy.delay_ms(retry_index, rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_single_attempt_sleeps_never(self):
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+    def test_worst_case_bounds_sleep_plus_wait(self):
+        policy = RetryPolicy(
+            attempts=3, base_ms=100.0, cap_ms=150.0, timeout_ms=1000.0
+        )
+        # sleeps: 100 + 150 ms; waits: 3 * 1000 ms
+        assert policy.worst_case_s() == pytest.approx(0.25 + 3.0)
+
+    def test_timeout_seconds_conversion(self):
+        assert RetryPolicy(timeout_ms=2500.0).timeout_s == 2.5
+        assert RetryPolicy(timeout_ms=None).timeout_s is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_ms": -1.0},
+            {"cap_ms": -1.0},
+            {"timeout_ms": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCall:
+    def test_returns_first_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionError("not yet")
+            return "ok"
+
+        sleeps = []
+        result = retry_call(
+            flaky,
+            RetryPolicy(attempts=4, base_ms=5.0, jitter=False),
+            (ConnectionError,),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert sleeps == [0.005, 0.010]
+
+    def test_reraises_final_failure_unchanged(self):
+        def always_down():
+            raise ConnectionRefusedError("still down")
+
+        with pytest.raises(ConnectionRefusedError, match="still down"):
+            retry_call(
+                always_down,
+                RetryPolicy(attempts=3, base_ms=0.0, jitter=False),
+                (ConnectionError,),
+                sleep=lambda _s: None,
+            )
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("logic bug, not transport")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                broken,
+                RetryPolicy(attempts=5, base_ms=0.0, jitter=False),
+                (ConnectionError,),
+                sleep=lambda _s: None,
+            )
+        assert len(calls) == 1

@@ -1,0 +1,166 @@
+"""WorkerChannel transport semantics against in-process asyncio peers.
+
+The router's retry loop leans on exactly three channel behaviours —
+typed timeout, typed death-of-everything-in-flight, transparent redial —
+so each gets a direct test against a scripted asyncio server rather than
+a real worker.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.fabric.channel import ChannelClosed, DispatchTimeout, WorkerChannel
+
+
+class ScriptedPeer:
+    """An asyncio server whose per-line behaviour a test chooses."""
+
+    def __init__(self, answer):
+        self.answer = answer  # coroutine(reply_dict) -> bytes | None
+        self.server = None
+        self.connections = 0
+
+    async def __aenter__(self):
+        self.server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+        self.address = f"127.0.0.1:{self.port}"
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                out = await self.answer(json.loads(line), writer)
+                if out is not None:
+                    writer.write(out)
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+
+async def echo_ok(request, _writer):
+    reply = {"ok": True, "id": request["id"], "result": {"echo": request}}
+    return json.dumps(reply).encode() + b"\n"
+
+
+class TestRoundTrips:
+    def test_pipelined_requests_reassociate_by_id(self):
+        async def scenario():
+            async with ScriptedPeer(echo_ok) as peer:
+                channel = WorkerChannel("w0", peer.address)
+                replies = await asyncio.gather(
+                    *(
+                        channel.request({"op": "ping", "seq": i}, 5.0)
+                        for i in range(16)
+                    )
+                )
+                await channel.close()
+                return peer.connections, replies
+
+        connections, replies = asyncio.run(scenario())
+        assert connections == 1  # one persistent connection, not 16 dials
+        for i, reply in enumerate(replies):
+            assert reply["ok"]
+            assert reply["result"]["echo"]["seq"] == i
+
+    def test_junk_lines_are_skipped_not_fatal(self):
+        async def junk_then_ok(request, writer):
+            writer.write(b"not json at all\n[1, 2, 3]\n")
+            return await echo_ok(request, writer)
+
+        async def scenario():
+            async with ScriptedPeer(junk_then_ok) as peer:
+                channel = WorkerChannel("w0", peer.address)
+                reply = await channel.request({"op": "ping"}, 5.0)
+                await channel.close()
+                return reply
+
+        assert asyncio.run(scenario())["ok"]
+
+
+class TestFailureSemantics:
+    def test_unanswered_request_times_out_typed(self):
+        async def black_hole(_request, _writer):
+            return None  # accept, parse, never answer
+
+        async def scenario():
+            async with ScriptedPeer(black_hole) as peer:
+                channel = WorkerChannel("w0", peer.address)
+                with pytest.raises(DispatchTimeout):
+                    await channel.request({"op": "ping"}, 0.2)
+                assert channel.inflight == 0  # abandoned, not leaked
+                await channel.close()
+
+        asyncio.run(scenario())
+
+    def test_peer_death_fails_all_inflight(self):
+        async def die_on_second(request, writer):
+            if request.get("seq") == 1:
+                writer.close()  # EOF for everyone
+                return None
+            return None  # park the first request forever
+
+        async def scenario():
+            async with ScriptedPeer(die_on_second) as peer:
+                channel = WorkerChannel("w0", peer.address)
+                first = asyncio.ensure_future(
+                    channel.request({"op": "ping", "seq": 0}, 5.0)
+                )
+                await asyncio.sleep(0.05)  # first is parked in-flight
+                with pytest.raises(ChannelClosed):
+                    await channel.request({"op": "ping", "seq": 1}, 5.0)
+                with pytest.raises(ChannelClosed):
+                    await first
+                await channel.close()
+
+        asyncio.run(scenario())
+
+    def test_redials_after_teardown(self):
+        async def scenario():
+            async with ScriptedPeer(echo_ok) as peer:
+                channel = WorkerChannel("w0", peer.address)
+                assert (await channel.request({"op": "ping"}, 5.0))["ok"]
+                # Simulate transport death without closing the channel.
+                await channel._teardown(ChannelClosed("test-induced"))
+                assert not channel.connected
+                assert (await channel.request({"op": "ping"}, 5.0))["ok"]
+                await channel.close()
+                return peer.connections
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_connect_refused_is_channel_closed(self):
+        async def scenario():
+            import socket
+
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+            probe.close()
+            channel = WorkerChannel("w0", f"127.0.0.1:{port}")
+            with pytest.raises(ChannelClosed):
+                await channel.request({"op": "ping"}, 1.0)
+
+        asyncio.run(scenario())
+
+    def test_closed_channel_refuses_new_requests(self):
+        async def scenario():
+            channel = WorkerChannel("w0", "127.0.0.1:1")
+            await channel.close()
+            with pytest.raises(ChannelClosed):
+                await channel.request({"op": "ping"}, 1.0)
+
+        asyncio.run(scenario())

@@ -1,0 +1,163 @@
+"""Consistent-hash ring: determinism, replication, shard partitioning."""
+
+import random
+
+import pytest
+
+from repro.core.transforms import random_transform
+from repro.core.truth_table import TruthTable
+from repro.fabric.ring import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    parse_ring_spec,
+    shard_key_of,
+)
+
+
+class TestRingSpec:
+    def test_parse_ring_spec(self):
+        assert parse_ring_spec("w0,w1,w2") == ("w0", "w1", "w2")
+        assert parse_ring_spec(" a , b ") == ("a", "b")
+
+    @pytest.mark.parametrize("bad", ["", ",,", "w0,w0", "w 0,w1"])
+    def test_parse_ring_spec_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ring_spec(bad)
+
+    def test_spec_roundtrip(self):
+        ring = HashRing(("w0", "w1", "w2"), vnodes=16, replicas=2)
+        clone = HashRing.from_spec(ring.spec())
+        for i in range(200):
+            assert ring.owners(f"key-{i}") == clone.owners(f"key-{i}")
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            HashRing.from_spec({"nodes": ["w0"]})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": ()},
+            {"nodes": ("w0", "w0")},
+            {"nodes": ("w0",), "vnodes": 0},
+            {"nodes": ("w0",), "replicas": 0},
+        ],
+    )
+    def test_constructor_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            HashRing(**kwargs)
+
+
+class TestOwnership:
+    def test_owners_are_distinct_and_replica_many(self):
+        ring = HashRing(("w0", "w1", "w2", "w3"), replicas=3)
+        for i in range(300):
+            owners = ring.owners(f"key-{i}")
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replicas_clamped_to_membership(self):
+        ring = HashRing(("w0", "w1"), replicas=5)
+        assert ring.replicas == 2
+        assert set(ring.owners("anything")) == {"w0", "w1"}
+
+    def test_determinism_across_instances(self):
+        a = HashRing(("w0", "w1", "w2"))
+        b = HashRing(("w0", "w1", "w2"))
+        assert [a.owner(f"k{i}") for i in range(100)] == [
+            b.owner(f"k{i}") for i in range(100)
+        ]
+
+    def test_membership_change_moves_few_keys(self):
+        # The property consistent hashing exists for: adding a node
+        # remaps only the keys the new node takes over.
+        before = HashRing(("w0", "w1", "w2"))
+        after = HashRing(("w0", "w1", "w2", "w3"))
+        keys = [f"key-{i}" for i in range(1000)]
+        moved = sum(
+            1
+            for key in keys
+            if before.owner(key) != after.owner(key)
+            and after.owner(key) != "w3"
+        )
+        # Keys not claimed by w3 must keep their owner.
+        assert moved == 0
+
+    def test_balance_within_reason(self):
+        ring = HashRing(("w0", "w1", "w2"))
+        counts = {"w0": 0, "w1": 0, "w2": 0}
+        for i in range(3000):
+            counts[ring.owner(f"key-{i}")] += 1
+        for count in counts.values():
+            assert 500 < count < 1700  # no node starved or dominant
+
+
+class TestShardKeys:
+    def test_npn_equivalent_queries_share_a_shard(self, tiny_library):
+        # The MSV is NPN-invariant: any transform of a function must
+        # hash to the same shard its class representative lives on.
+        rng = random.Random(2023)
+        for value in (0xE8, 0x96, 0x1B, 0x80):
+            table = TruthTable(3, value)
+            key = shard_key_of(table, tiny_library.parts)
+            for _ in range(10):
+                transformed = table.apply(random_transform(3, rng))
+                assert (
+                    shard_key_of(transformed, tiny_library.parts) == key
+                )
+
+    def test_shard_filter_partitions_the_library(self, tiny_library):
+        ring = HashRing(("w0", "w1", "w2"))
+        shards = {
+            node: tiny_library.subset(
+                ring.shard_filter(node, tiny_library.parts)
+            )
+            for node in ring.nodes
+        }
+        # Every class is held by exactly `replicas` workers...
+        holders = {class_id: 0 for class_id in tiny_library.classes}
+        for shard in shards.values():
+            for class_id in shard.classes:
+                holders[class_id] += 1
+        assert set(holders.values()) == {DEFAULT_REPLICAS}
+        # ...and the shards' union is the whole library.
+        union = set().union(*(s.classes for s in shards.values()))
+        assert union == set(tiny_library.classes)
+
+    def test_shard_filter_rejects_foreign_node(self):
+        ring = HashRing(("w0", "w1"))
+        with pytest.raises(ValueError):
+            ring.shard_filter("intruder")
+
+    def test_sharded_worker_answers_its_own_queries(self, tiny_library):
+        # A query routed by shard key must hit a worker whose subset
+        # still matches it — the property the router relies on.
+        ring = HashRing(("w0", "w1", "w2"))
+        shards = {
+            node: tiny_library.subset(
+                ring.shard_filter(node, tiny_library.parts)
+            )
+            for node in ring.nodes
+        }
+        rng = random.Random(7)
+        for _ in range(50):
+            table = TruthTable(3, rng.randrange(1 << 8))
+            key = shard_key_of(table, tiny_library.parts)
+            for owner in ring.owners(key):
+                hit = shards[owner].match(table)
+                assert hit is not None
+                assert hit.verify(table)
+
+
+class TestSubset:
+    def test_subset_preserves_scheme_and_parts(self, tiny_library):
+        subset = tiny_library.subset(lambda entry: entry.n == 2)
+        assert subset.parts == tiny_library.parts
+        assert subset.id_scheme == tiny_library.id_scheme
+        assert subset.num_classes == 4
+        assert all(entry.n == 2 for entry in subset.classes.values())
+
+    def test_empty_subset_serves_misses(self, tiny_library):
+        empty = tiny_library.subset(lambda entry: False)
+        assert empty.num_classes == 0
+        assert empty.match(TruthTable(3, 0xE8)) is None

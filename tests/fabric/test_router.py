@@ -1,0 +1,355 @@
+"""Router integration: control plane, shard routing, failure handling.
+
+A real :class:`RouterService` and real :class:`FabricWorker` daemons run
+on :class:`ThreadedService` loop threads; clients speak to the router
+through the ordinary blocking :class:`ServiceClient` — nothing here is
+mocked except where a test *needs* a pathological peer (the black-hole
+worker that accepts connections and never answers).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.truth_table import TruthTable
+from repro.fabric.backoff import RetryPolicy
+from repro.fabric.ring import HashRing, shard_key_of
+from repro.fabric.router import RouterService
+from repro.fabric.worker import FabricWorker
+from repro.service import ServiceClient, ServiceError, ThreadedService
+from repro.service.client import http_get
+
+RING = ("w0", "w1")
+
+
+def wait_for(predicate, timeout_s=15.0, message="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def make_worker(tiny_library, worker_id, ring, router_address, **kwargs):
+    shard = tiny_library.subset(
+        ring.shard_filter(worker_id, tiny_library.parts)
+    )
+    return FabricWorker(
+        shard,
+        worker_id=worker_id,
+        router_address=router_address,
+        ring=ring,
+        port=0,
+        heartbeat_interval_s=0.1,
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def fabric(tiny_library):
+    """A running router + two registered workers; yields (router, workers)."""
+    ring = HashRing(RING)
+    router = RouterService(
+        port=0,
+        policy=RetryPolicy(
+            attempts=3, base_ms=5.0, cap_ms=20.0, timeout_ms=2000.0
+        ),
+        heartbeat_interval_s=0.1,
+        trace_sample=1,
+    )
+    with ThreadedService(router) as router_host:
+        workers = [
+            make_worker(tiny_library, worker_id, ring, router_host.address)
+            for worker_id in RING
+        ]
+        hosts = [ThreadedService(worker) for worker in workers]
+        try:
+            for host in hosts:
+                host.start()
+            wait_for(
+                lambda: router.registry.counts()["alive"] == len(RING),
+                message="workers to register",
+            )
+            yield router, workers
+        finally:
+            for host in hosts:
+                host.stop()
+
+
+class TestControlPlane:
+    def test_registration_populates_registry_and_ring(self, fabric):
+        router, workers = fabric
+        assert router.ring is not None
+        assert set(router.ring.nodes) == set(RING)
+        snapshot = router.registry.snapshot()
+        for worker in workers:
+            info = snapshot["workers"][worker.worker_id]
+            assert info["state"] == "alive"
+            assert info["capabilities"]["classes"] == worker.library.num_classes
+            assert info["capabilities"]["arities"] == [2, 3]
+
+    def test_ring_mismatch_is_rejected(self, fabric):
+        router, _ = fabric
+        wrong = HashRing(("w0", "w1", "intruder"))
+        with socket.create_connection(
+            ("127.0.0.1", router.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                json.dumps(
+                    {
+                        "op": "register",
+                        "id": 1,
+                        "worker": {
+                            "worker_id": "intruder",
+                            "address": "127.0.0.1:1",
+                            "ring": wrong.spec(),
+                        },
+                    }
+                ).encode()
+                + b"\n"
+            )
+            reply = json.loads(sock.makefile("rb").readline())
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "bad_request"
+        assert "ring mismatch" in reply["error"]["message"]
+
+    def test_heartbeat_for_unknown_worker_says_so(self, fabric):
+        router, _ = fabric
+        with ServiceClient(port=router.port) as client:
+            reply = client._roundtrip(
+                {"op": "heartbeat", "id": 1, "worker_id": "ghost"}
+            )
+        assert reply == {"known": False}
+
+    def test_drain_op_stops_routing(self, fabric):
+        router, _ = fabric
+        with ServiceClient(port=router.port) as client:
+            reply = client._roundtrip(
+                {"op": "drain", "id": 1, "worker_id": "w0"}
+            )
+            assert reply["draining"] is True
+            # Replication means the other worker holds every shard: all
+            # queries keep answering.
+            for value in range(0, 256, 17):
+                result = client.match(TruthTable(3, value))
+                assert result["hit"]
+        assert router.registry.counts()["draining"] == 1
+
+    def test_worker_ops_rejected_on_plain_daemon(self, tiny_library):
+        # FABRIC_OPS are router-only: a classification daemon must
+        # reject them as unknown ops, not silently accept.
+        with ThreadedService(tiny_library) as svc:
+            with ServiceClient(port=svc.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client._roundtrip(
+                        {"op": "register", "id": 1, "worker": {}}
+                    )
+        assert excinfo.value.error_type == "bad_request"
+
+
+class TestRouting:
+    def test_routed_answers_match_offline_library(self, fabric, tiny_library):
+        router, _ = fabric
+        with ServiceClient(port=router.port) as client:
+            for value in range(256):
+                table = TruthTable(3, value)
+                result = client.match(table)
+                assert result["hit"]
+                assert ServiceClient.verify(result, table)
+                offline = tiny_library.match(table)
+                assert result["class_id"] == offline.class_id
+
+    def test_pipelined_burst_through_router(self, fabric):
+        router, _ = fabric
+        tables = [TruthTable(3, value) for value in range(128)]
+        with ServiceClient(port=router.port) as client:
+            results = client.match_many(tables)
+        for table, result in zip(tables, results):
+            assert result["hit"]
+            assert ServiceClient.verify(result, table)
+
+    def test_classify_and_ping_and_stats(self, fabric):
+        router, _ = fabric
+        with ServiceClient(port=router.port) as client:
+            pong = client.ping()
+            assert pong["role"] == "router"
+            assert pong["workers"]["alive"] == 2
+            classified = client.classify(TruthTable(3, 0xE8))
+            assert classified["known"]
+            stats = client.stats()
+            assert stats["identity"]["role"] == "router"
+            assert stats["ring"]["nodes"] == list(RING)
+            assert set(stats["registry"]["workers"]) == set(RING)
+
+    def test_http_front_healthz_ring_metrics(self, fabric):
+        router, _ = fabric
+        status, body = http_get(router.address, "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["role"] == "router"
+        status, body = http_get(router.address, "/v1/ring")
+        assert status == 200
+        assert json.loads(body)["ring"]["nodes"] == list(RING)
+        status, body = http_get(router.address, "/metrics")
+        assert status == 200
+        assert "repro_fabric_requests_total" in body
+        status, body = http_get(router.address, "/v1/stats")
+        assert status == 200
+        assert json.loads(body)["identity"]["role"] == "router"
+
+    def test_http_post_routes_through_fabric(self, fabric):
+        router, _ = fabric
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://{router.address}/v1/match",
+            data=json.dumps({"table": "0xe8", "n": 3}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        assert payload["ok"] and payload["result"]["hit"]
+
+    def test_trace_spans_cover_route_dispatch_reply(self, fabric):
+        router, _ = fabric
+        with ServiceClient(port=router.port) as client:
+            client.match(TruthTable(3, 0x96))
+
+        def match_traces():
+            # The trace finishes a beat after the reply flushes to the
+            # client, so poll rather than read immediately.
+            return [
+                t for t in router.tracer.recent(50) if t["op"] == "match"
+            ]
+
+        wait_for(match_traces, message="the match trace to finish")
+        span_names = {s["name"] for s in match_traces()[0]["spans"]}
+        assert {"route", "dispatch", "reply"} <= span_names
+
+
+class TestDegradedMode:
+    def test_no_workers_means_typed_shard_unavailable(self):
+        router = RouterService(port=0)
+        with ThreadedService(router) as host:
+            with ServiceClient(port=host.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.match(TruthTable(3, 0xE8))
+        assert excinfo.value.error_type == "shard_unavailable"
+
+    def test_all_owners_down_fails_fast_not_hanging(self, fabric):
+        router, _ = fabric
+        # Drain both workers: every shard's owner set becomes empty.
+        with ServiceClient(port=router.port) as client:
+            for worker_id in RING:
+                client._roundtrip(
+                    {"op": "drain", "id": worker_id, "worker_id": worker_id}
+                )
+            t0 = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.match(TruthTable(3, 0xE8))
+            elapsed = time.monotonic() - t0
+        assert excinfo.value.error_type == "shard_unavailable"
+        assert elapsed < 2.0  # fail fast, no retry/timeout ladder
+
+
+class TestTimeoutsAndHedging:
+    def test_black_hole_worker_times_out_and_replica_answers(
+        self, tiny_library
+    ):
+        # A listener that accepts and never replies: the gray failure.
+        hole = socket.socket()
+        hole.bind(("127.0.0.1", 0))
+        hole.listen(8)
+        hole_port = hole.getsockname()[1]
+        accepted = []
+
+        def accept_forever():
+            try:
+                while True:
+                    conn, _ = hole.accept()
+                    accepted.append(conn)  # keep open, never answer
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_forever, daemon=True)
+        thread.start()
+
+        ring = HashRing(("real", "hole"))
+        router = RouterService(
+            port=0,
+            policy=RetryPolicy(
+                attempts=3, base_ms=5.0, cap_ms=20.0, timeout_ms=300.0
+            ),
+            heartbeat_interval_s=30.0,  # liveness driven by data plane here
+        )
+        try:
+            with ThreadedService(router) as router_host:
+                worker = make_worker(
+                    tiny_library, "real", ring, router_host.address
+                )
+                with ThreadedService(worker):
+                    wait_for(
+                        lambda: router.registry.counts()["alive"] >= 1,
+                        message="real worker to register",
+                    )
+                    # Hand-register the black hole so the ring routes
+                    # half its keys there first.
+                    with ServiceClient(port=router.port) as client:
+                        client._roundtrip(
+                            {
+                                "op": "register",
+                                "id": 0,
+                                "worker": {
+                                    "worker_id": "hole",
+                                    "address": f"127.0.0.1:{hole_port}",
+                                    "ring": ring.spec(),
+                                },
+                            }
+                        )
+                        for value in range(0, 256, 5):
+                            table = TruthTable(3, value)
+                            result = client.match(table)
+                            assert result["hit"]
+                            assert ServiceClient.verify(result, table)
+                    stats = router._stats_snapshot()
+                    # Some keys were owned by the hole first: the router
+                    # must have timed out and retried onto the replica.
+                    assert stats["fabric"]["retries"] >= 1
+                    assert router.registry.state_of("hole") == "suspect"
+                    # Once suspect, dispatches hedge to the successor.
+                    assert stats["fabric"]["hedges"] >= 1
+        finally:
+            hole.close()
+            for conn in accepted:
+                conn.close()
+
+
+class TestWorkerDaemon:
+    def test_worker_healthz_reports_fabric_identity(self, fabric):
+        _, workers = fabric
+        worker = workers[0]
+        status, body = http_get(worker.address, "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["worker_id"] == worker.worker_id
+        assert health["registered"] is True
+        assert health["ring"]["nodes"] == list(RING)
+
+    def test_worker_serves_only_its_shard(self, fabric, tiny_library):
+        router, workers = fabric
+        assert router.ring is not None
+        for worker in workers:
+            expected = sum(
+                1
+                for entry in tiny_library.classes.values()
+                if router.ring.covers(
+                    shard_key_of(entry.representative, tiny_library.parts),
+                    worker.worker_id,
+                )
+            )
+            assert worker.library.num_classes == expected

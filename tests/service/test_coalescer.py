@@ -299,3 +299,40 @@ class TestDrain:
             await coalescer.stop()
 
         asyncio.run(scenario())
+
+    def test_stop_survives_compaction_failure(self, tiny_library, caplog):
+        # Regression: a drain-time WAL compaction failure (full disk,
+        # corrupt segment) used to propagate out of stop(), aborting the
+        # server's teardown with the already-answered backlog replies
+        # still unsent.  It must be logged and swallowed, the learner
+        # still closed, and the backlog fully answered.
+        class ExplodingLearner:
+            def __init__(self, library):
+                self.library = library
+                self.closed = False
+
+            def compact(self):
+                raise OSError("no space left on device")
+
+            def close(self):
+                self.closed = True
+
+        learner = ExplodingLearner(tiny_library)
+
+        async def scenario():
+            coalescer = Coalescer(
+                tiny_library, max_batch=4, max_wait_ms=0, learner=learner
+            )
+            futures = [coalescer.submit("match", tt) for tt in tables(9)]
+            coalescer.start()
+            await coalescer.stop()  # must NOT raise
+            return await asyncio.gather(*futures)
+
+        with caplog.at_level("ERROR", logger="repro.service.coalescer"):
+            results = asyncio.run(scenario())
+        assert len(results) == 9
+        assert all(outcome is not None for outcome, _ in results)
+        assert learner.closed, "close() must run even when compact() fails"
+        assert any(
+            "compaction failed" in record.message for record in caplog.records
+        )

@@ -26,6 +26,7 @@ from repro.service import (
     MAX_LINE_BYTES,
     ServiceClient,
     ServiceError,
+    ServiceUnavailableError,
     ThreadedService,
     parse_address,
 )
@@ -332,3 +333,82 @@ class TestSigtermDrain:
                 break
         else:
             pytest.fail("listener still accepting after stop()")
+
+
+class TestUnavailable:
+    """Transport failures surface as the typed ServiceUnavailableError.
+
+    The router's CLI retry loop and the fabric's chaos tolerance both
+    key off this one exception type — a client that leaked raw OSErrors
+    or socket.timeouts would make "retry on unavailability" impossible
+    to express.
+    """
+
+    def test_is_a_typed_service_error(self):
+        error = ServiceUnavailableError("nobody home")
+        assert isinstance(error, ServiceError)
+        assert error.error_type == "unavailable"
+
+    def test_connection_refused(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        client = ServiceClient(port=dead_port, timeout=2.0)
+        with pytest.raises(ServiceUnavailableError):
+            client.ping()
+
+    def test_read_timeout(self):
+        # An accepting socket that never answers: the client must give
+        # up after its read timeout, not hang.
+        hole = socket.socket()
+        hole.bind(("127.0.0.1", 0))
+        hole.listen(1)
+        try:
+            client = ServiceClient(
+                port=hole.getsockname()[1], timeout=0.3
+            )
+            t0 = time.monotonic()
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                client.ping()
+            assert time.monotonic() - t0 < 5.0
+            assert "no reply" in str(excinfo.value)
+        finally:
+            hole.close()
+
+    def test_peer_hangup_mid_request(self):
+        # A server that accepts and immediately closes: the empty read
+        # is a typed unavailability, and the client closes its socket so
+        # the next call re-dials instead of writing into a dead pipe.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def accept_and_hang_up():
+            conn, _ = listener.accept()
+            conn.close()
+
+        from threading import Thread
+
+        thread = Thread(target=accept_and_hang_up, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                port=listener.getsockname()[1], timeout=2.0
+            )
+            # Depending on who wins the race, the failure is either an
+            # empty read ("closed the connection") or ECONNRESET on the
+            # write — both must surface as the same typed error.
+            with pytest.raises(ServiceUnavailableError):
+                client.ping()
+            assert client._sock is None  # ready to re-dial
+        finally:
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_connect_timeout_is_separate_knob(self):
+        client = ServiceClient(port=1, timeout=30.0, connect_timeout=0.5)
+        assert client.connect_timeout == 0.5
+        assert client.timeout == 30.0
+        default = ServiceClient(port=1, timeout=7.0)
+        assert default.connect_timeout == 7.0

@@ -513,3 +513,99 @@ class TestLearnAndCompactCli:
         capsys.readouterr()
         assert main(["library", "stats", "--library", str(lib)]) == 0
         assert "5" in capsys.readouterr().out  # the minted n=5 row persists
+
+
+class TestFabricCommands:
+    """Argument validation of the fabric entry points + ping retries.
+
+    The daemons themselves never start here (they would serve forever);
+    the chaos tests exercise the full subprocess lifecycle.  This class
+    pins the operator-facing contract: bad knobs exit 2 with a message,
+    never a traceback or a half-started daemon.
+    """
+
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        from repro.library import build_exhaustive_library
+        from repro.service import ThreadedService
+
+        library = build_exhaustive_library(3)
+        with ThreadedService(library, max_wait_ms=1.0) as svc:
+            yield svc
+
+    def test_router_rejects_bad_policy_knobs(self, capsys):
+        for flags, fragment in (
+            (["--attempts", "0"], "attempts"),
+            (["--base-ms", "-1"], "base_ms"),
+            (["--timeout-ms", "0"], "timeout_ms"),
+            (["--heartbeat-interval-s", "0"], "heartbeat"),
+            (["--suspect-misses", "9", "--evict-misses", "9"], "misses"),
+            (["--trace-sample", "0"], "trace-sample"),
+        ):
+            assert main(["router", "--port", "0", *flags]) == 2
+            assert fragment in capsys.readouterr().err
+
+    def test_worker_rejects_bad_ring(self, capsys):
+        assert main(
+            ["worker", "--id", "w0", "--ring", "w0,w0", "--port", "0"]
+        ) == 2
+        assert "repeats a worker id" in capsys.readouterr().err
+
+    def test_worker_must_be_on_its_ring(self, capsys):
+        assert main(
+            ["worker", "--id", "ghost", "--ring", "w0,w1", "--port", "0"]
+        ) == 2
+        assert "not on the ring" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_service_knobs(self, capsys):
+        assert main(
+            [
+                "worker", "--id", "w0", "--ring", "w0,w1",
+                "--max-batch", "0", "--port", "0",
+            ]
+        ) == 2
+        assert "max_batch" in capsys.readouterr().err
+
+    def test_worker_requires_loadable_library(self, tmp_path, capsys):
+        assert main(
+            [
+                "worker", "--id", "w0", "--ring", "w0,w1",
+                "--library", str(tmp_path / "absent"), "--port", "0",
+            ]
+        ) == 2
+        assert "cannot load library" in capsys.readouterr().err
+
+    def test_ping_with_retries_succeeds_first_try(self, served, capsys):
+        assert main(
+            [
+                "query", "ping", "--retries", "3", "--backoff-ms", "1",
+                "--addr", served.address,
+            ]
+        ) == 0
+        assert '"pong": true' in capsys.readouterr().out
+
+    def test_ping_retries_exhaust_against_dead_port(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        assert main(
+            [
+                "query", "ping", "--retries", "2", "--backoff-ms", "1",
+                "--addr", f"127.0.0.1:{dead_port}",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "after 3 attempts" in err
+        assert "cannot reach" in err
+
+    def test_ping_rejects_negative_backoff(self, capsys):
+        assert main(
+            [
+                "query", "ping", "--retries", "1", "--backoff-ms", "-5",
+                "--addr", "127.0.0.1:1",
+            ]
+        ) == 2
+        assert "base_ms" in capsys.readouterr().err
